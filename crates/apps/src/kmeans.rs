@@ -1,0 +1,343 @@
+//! Distributed k-means over sparse feature vectors.
+//!
+//! Lloyd's algorithm with data parallelism: every machine holds a shard
+//! of sparse points; each round it fetches the current centroids,
+//! assigns its points, and contributes per-centroid feature sums and
+//! member counts through a single sum-allreduce. The centroid state
+//! lives at feature homes exactly like the SGD model (§III: "every
+//! model feature should have a home machine"), and the flattened index
+//! space `centroid · (n_features + 1) + feature` (one extra slot per
+//! centroid for the member count) keeps everything in one collective.
+//!
+//! Centroids of sparse power-law data are themselves sparsish (only
+//! features seen in members are nonzero), so the sparse allreduce moves
+//! only live coordinates — the same argument as for gradients.
+
+use kylix::{Kylix, Result};
+use kylix_net::Comm;
+use kylix_sparse::SumReducer;
+use std::collections::HashMap;
+
+/// A sparse data point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// `(feature, value)` pairs, feature < n_features.
+    pub features: Vec<(u64, f64)>,
+}
+
+/// Distributed k-means state on one machine.
+pub struct KMeans {
+    k: usize,
+    n_features: u64,
+    /// Current centroids as dense-ish sparse maps (feature → value).
+    centroids: Vec<HashMap<u64, f64>>,
+}
+
+impl KMeans {
+    /// Initialise with explicit seed centroids (same on all machines).
+    pub fn new(k: usize, n_features: u64, seeds: Vec<Vec<(u64, f64)>>) -> Self {
+        assert_eq!(seeds.len(), k);
+        Self {
+            k,
+            n_features,
+            centroids: seeds
+                .into_iter()
+                .map(|c| c.into_iter().collect())
+                .collect(),
+        }
+    }
+
+    /// Flattened allreduce index of `(centroid, feature)`.
+    fn slot(&self, c: usize, f: u64) -> u64 {
+        c as u64 * (self.n_features + 1) + f
+    }
+
+    /// Flattened index of centroid `c`'s member counter.
+    fn count_slot(&self, c: usize) -> u64 {
+        c as u64 * (self.n_features + 1) + self.n_features
+    }
+
+    /// Squared distance from a sparse point to a centroid
+    /// (`‖x‖² − 2⟨x, c⟩ + ‖c‖²`, with the constant `‖x‖²` dropped since
+    /// it does not affect the argmin).
+    fn score(&self, point: &Point, c: usize) -> f64 {
+        let cent = &self.centroids[c];
+        let dot: f64 = point
+            .features
+            .iter()
+            .map(|(f, x)| x * cent.get(f).copied().unwrap_or(0.0))
+            .sum();
+        let norm2: f64 = cent.values().map(|v| v * v).sum();
+        norm2 - 2.0 * dot
+    }
+
+    /// Assign a point to its nearest centroid.
+    pub fn assign(&self, point: &Point) -> usize {
+        (0..self.k)
+            .map(|c| (self.score(point, c), c))
+            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"))
+            .expect("k >= 1")
+            .1
+    }
+
+    /// One Lloyd round over this machine's points. Collective call;
+    /// returns the number of points that changed assignment locally.
+    pub fn step<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        kylix: &Kylix,
+        points: &[Point],
+        prev_assign: &mut Vec<usize>,
+        round: u32,
+    ) -> Result<usize> {
+        if prev_assign.is_empty() {
+            prev_assign.resize(points.len(), usize::MAX);
+        }
+        // Local assignment + accumulation of sums and counts.
+        let mut sums: HashMap<u64, f64> = HashMap::new();
+        let mut moved = 0usize;
+        for (p, prev) in points.iter().zip(prev_assign.iter_mut()) {
+            let c = self.assign(p);
+            if c != *prev {
+                moved += 1;
+                *prev = c;
+            }
+            for (f, x) in &p.features {
+                *sums.entry(self.slot(c, *f)).or_insert(0.0) += x;
+            }
+            *sums.entry(self.count_slot(c)).or_insert(0.0) += 1.0;
+        }
+
+        // One combined allreduce: contribute local sums; request every
+        // centroid row *densely* (all k·(n+1) slots). A sparse request
+        // restricted to locally-seen features would corrupt ‖c‖² — a
+        // feature contributed only by another machine still enters
+        // the centroid's norm, which the assignment step needs. (For
+        // high-dimensional models a support-union pre-exchange would
+        // restore sparsity; k·n is small for clustering workloads.)
+        let mut in_idx: Vec<u64> =
+            (0..self.k as u64 * (self.n_features + 1)).collect();
+        in_idx.extend(sums.keys().copied());
+        in_idx.sort_unstable();
+        in_idx.dedup();
+        let out_idx: Vec<u64> = sums.keys().copied().collect();
+        let out_val: Vec<f64> = out_idx.iter().map(|s| sums[s]).collect();
+        let (totals, _) = kylix.allreduce_combined(
+            comm,
+            &in_idx,
+            &out_idx,
+            &out_val,
+            SumReducer,
+            round.wrapping_mul(2),
+        )?;
+        let total: HashMap<u64, f64> = in_idx.into_iter().zip(totals).collect();
+
+        // Recompute centroids from global sums; empty clusters keep
+        // their previous position (standard Lloyd fallback).
+        for c in 0..self.k {
+            let count = total.get(&self.count_slot(c)).copied().unwrap_or(0.0);
+            if count == 0.0 {
+                continue;
+            }
+            let feats: Vec<u64> = self
+                .centroids[c]
+                .keys()
+                .copied()
+                .chain(
+                    total
+                        .keys()
+                        .filter(|&&s| {
+                            s / (self.n_features + 1) == c as u64
+                                && s % (self.n_features + 1) != self.n_features
+                        })
+                        .map(|&s| s % (self.n_features + 1)),
+                )
+                .collect();
+            let mut next = HashMap::new();
+            for f in feats {
+                let v = total.get(&self.slot(c, f)).copied().unwrap_or(0.0) / count;
+                if v != 0.0 {
+                    next.insert(f, v);
+                }
+            }
+            self.centroids[c] = next;
+        }
+        Ok(moved)
+    }
+
+    /// The current centroids as sorted `(feature, value)` lists.
+    pub fn centroids(&self) -> Vec<Vec<(u64, f64)>> {
+        self.centroids
+            .iter()
+            .map(|c| {
+                let mut v: Vec<(u64, f64)> = c.iter().map(|(f, x)| (*f, *x)).collect();
+                v.sort_unstable_by_key(|p| p.0);
+                v
+            })
+            .collect()
+    }
+}
+
+/// Sequential reference: identical math on the union of all shards.
+pub fn kmeans_reference(
+    k: usize,
+    n_features: u64,
+    seeds: Vec<Vec<(u64, f64)>>,
+    shards: &[Vec<Point>],
+    rounds: usize,
+) -> Vec<Vec<(u64, f64)>> {
+    let mut model = KMeans::new(k, n_features, seeds);
+    for _ in 0..rounds {
+        let mut sums: HashMap<u64, f64> = HashMap::new();
+        for shard in shards {
+            for p in shard {
+                let c = model.assign(p);
+                for (f, x) in &p.features {
+                    *sums.entry(model.slot(c, *f)).or_insert(0.0) += x;
+                }
+                *sums.entry(model.count_slot(c)).or_insert(0.0) += 1.0;
+            }
+        }
+        for c in 0..k {
+            let count = sums.get(&model.count_slot(c)).copied().unwrap_or(0.0);
+            if count == 0.0 {
+                continue;
+            }
+            let feats: Vec<u64> = model.centroids[c]
+                .keys()
+                .copied()
+                .chain(
+                    sums.keys()
+                        .filter(|&&s| {
+                            s / (n_features + 1) == c as u64
+                                && s % (n_features + 1) != n_features
+                        })
+                        .map(|&s| s % (n_features + 1)),
+                )
+                .collect();
+            let mut next = HashMap::new();
+            for f in feats {
+                let v = sums.get(&model.slot(c, f)).copied().unwrap_or(0.0) / count;
+                if v != 0.0 {
+                    next.insert(f, v);
+                }
+            }
+            model.centroids[c] = next;
+        }
+    }
+    model.centroids()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kylix::NetworkPlan;
+    use kylix_net::LocalCluster;
+    use kylix_sparse::Xoshiro256;
+
+    /// Two well-separated sparse blobs: features 0..4 vs features 10..14.
+    fn blobs(per_shard: usize, shards: usize, seed: u64) -> Vec<Vec<Point>> {
+        let mut rng = Xoshiro256::new(seed);
+        (0..shards)
+            .map(|_| {
+                (0..per_shard)
+                    .map(|i| {
+                        let base = if i % 2 == 0 { 0u64 } else { 10 };
+                        let features = (0..3)
+                            .map(|_| (base + rng.next_below(5), 1.0 + rng.next_f64()))
+                            .collect();
+                        Point { features }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn seeds() -> Vec<Vec<(u64, f64)>> {
+        vec![vec![(0u64, 1.0)], vec![(10u64, 1.0)]]
+    }
+
+    #[test]
+    fn distributed_matches_reference() {
+        let m = 4;
+        let shards = blobs(20, m, 3);
+        let rounds = 5;
+        let expected = kmeans_reference(2, 20, seeds(), &shards, rounds);
+        let got: Vec<Vec<Vec<(u64, f64)>>> = LocalCluster::run(m, |mut comm| {
+            let me = comm.rank();
+            let kylix = Kylix::new(NetworkPlan::new(&[2, 2]));
+            let mut model = KMeans::new(2, 20, seeds());
+            let mut assign = Vec::new();
+            for r in 0..rounds {
+                model
+                    .step(&mut comm, &kylix, &shards[me], &mut assign, r as u32 + 1)
+                    .unwrap();
+            }
+            model.centroids()
+        });
+        for machine in &got {
+            for (c, (g, e)) in machine.iter().zip(&expected).enumerate() {
+                assert_eq!(g.len(), e.len(), "centroid {c} support");
+                for ((gf, gv), (ef, ev)) in g.iter().zip(e) {
+                    assert_eq!(gf, ef);
+                    assert!((gv - ev).abs() < 1e-9, "centroid {c} feature {gf}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clusters_separate_blobs() {
+        let m = 2;
+        let shards = blobs(40, m, 7);
+        let got: Vec<usize> = LocalCluster::run(m, |mut comm| {
+            let me = comm.rank();
+            let kylix = Kylix::new(NetworkPlan::direct(2));
+            let mut model = KMeans::new(2, 20, seeds());
+            let mut assign = Vec::new();
+            for r in 0..6 {
+                model
+                    .step(&mut comm, &kylix, &shards[me], &mut assign, r as u32 + 1)
+                    .unwrap();
+            }
+            // Every even point (blob 0) should share a cluster, and
+            // differ from every odd point's cluster.
+            let c_even = model.assign(&shards[me][0]);
+            let c_odd = model.assign(&shards[me][1]);
+            assert_ne!(c_even, c_odd, "blobs must separate");
+            for (i, p) in shards[me].iter().enumerate() {
+                let want = if i % 2 == 0 { c_even } else { c_odd };
+                assert_eq!(model.assign(p), want, "point {i}");
+            }
+            c_even
+        });
+        // All machines agree on the same model.
+        assert!(got.iter().all(|&c| c == got[0]));
+    }
+
+    #[test]
+    fn empty_cluster_keeps_position() {
+        // One blob only: the second centroid never gains members and
+        // must keep its seed position.
+        let shards: Vec<Vec<Point>> = vec![vec![
+            Point {
+                features: vec![(0, 1.0)],
+            },
+            Point {
+                features: vec![(1, 1.0)],
+            },
+        ]];
+        let got = LocalCluster::run(1, |mut comm| {
+            let kylix = Kylix::new(NetworkPlan::new(&[1]));
+            let mut model = KMeans::new(2, 20, seeds());
+            let mut assign = Vec::new();
+            for r in 0..3 {
+                model
+                    .step(&mut comm, &kylix, &shards[0], &mut assign, r as u32 + 1)
+                    .unwrap();
+            }
+            model.centroids()
+        });
+        assert_eq!(got[0][1], vec![(10u64, 1.0)], "empty cluster moved");
+    }
+}

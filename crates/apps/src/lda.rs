@@ -1,0 +1,456 @@
+//! Batched collapsed Gibbs sampling for LDA (paper §I.A.1: "MCMC
+//! algorithms such as Gibbs samplers involve updates to a model on
+//! every sample. To improve performance, the sample updates are batched
+//! in very similar fashion to subgradient updates").
+//!
+//! The global model — word-topic counts `N[w][k]` and topic totals
+//! `N[k]` — is distributed over feature homes (flattened slot space
+//! `w·K + k`, with the totals at `vocab·K + k`). Each round a machine:
+//!
+//! 1. **fetches** the count rows of its batch's words (a combined
+//!    allreduce whose in-set changes with the batch),
+//! 2. **samples** new topic assignments for its tokens against those
+//!    (deliberately stale-within-the-round) counts — the batched
+//!    approximation the paper describes,
+//! 3. **pushes** its count deltas; homes fold the global sum into
+//!    storage.
+//!
+//! Synchronous semantics — every round applies the *sum* of all
+//! machines' deltas to the model — make the distributed sampler
+//! bit-identical to a sequential implementation with the same seeds,
+//! which the tests verify, alongside a topic-recovery quality check.
+
+use kylix::{Kylix, Result};
+use kylix_net::Comm;
+use kylix_sparse::{mix64, mix_many, SumReducer, Xoshiro256};
+use std::collections::HashMap;
+
+/// LDA hyperparameters and shapes.
+#[derive(Debug, Clone, Copy)]
+pub struct LdaConfig {
+    /// Number of topics.
+    pub k: usize,
+    /// Vocabulary size.
+    pub vocab: u64,
+    /// Document–topic smoothing α.
+    pub alpha: f64,
+    /// Topic–word smoothing β.
+    pub beta: f64,
+}
+
+impl LdaConfig {
+    fn slot(&self, w: u64, k: usize) -> u64 {
+        w * self.k as u64 + k as u64
+    }
+    fn total_slot(&self, k: usize) -> u64 {
+        self.vocab * self.k as u64 + k as u64
+    }
+    fn n_slots(&self) -> u64 {
+        (self.vocab + 1) * self.k as u64
+    }
+}
+
+/// One machine's sampler state.
+pub struct LdaWorker {
+    cfg: LdaConfig,
+    /// Local documents (word ids).
+    docs: Vec<Vec<u32>>,
+    /// Current topic assignment per token.
+    assign: Vec<Vec<usize>>,
+    /// Per-document topic counts.
+    doc_topic: Vec<Vec<f64>>,
+    /// Owned slots of the global count table (sorted) and their values.
+    owned: Vec<u64>,
+    owned_counts: Vec<f64>,
+    /// Machine id and count (for sampling-stream derivation).
+    rank: usize,
+    seed: u64,
+}
+
+impl LdaWorker {
+    /// Initialise: tokens get deterministic pseudo-random topics; the
+    /// initial global counts are assembled through one push round by
+    /// the caller's first `step`.
+    pub fn new(
+        cfg: LdaConfig,
+        rank: usize,
+        m: usize,
+        docs: Vec<Vec<u32>>,
+        seed: u64,
+    ) -> Self {
+        let assign: Vec<Vec<usize>> = docs
+            .iter()
+            .enumerate()
+            .map(|(d, doc)| {
+                let mut rng =
+                    Xoshiro256::new(mix_many(&[seed, 0xA551, rank as u64, d as u64]));
+                doc.iter().map(|_| rng.next_index(cfg.k)).collect()
+            })
+            .collect();
+        let doc_topic: Vec<Vec<f64>> = docs
+            .iter()
+            .zip(&assign)
+            .map(|(doc, zs)| {
+                let mut dt = vec![0.0; cfg.k];
+                for (_, &z) in doc.iter().zip(zs) {
+                    dt[z] += 1.0;
+                }
+                dt
+            })
+            .collect();
+        let owned: Vec<u64> = (0..cfg.n_slots())
+            .filter(|&s| (mix64(s) % m as u64) as usize == rank)
+            .collect();
+        let owned_counts = vec![0.0; owned.len()];
+        Self {
+            cfg,
+            docs,
+            assign,
+            doc_topic,
+            owned,
+            owned_counts,
+            rank,
+            seed,
+        }
+    }
+
+    /// The deltas implied by this machine's *initial* assignments —
+    /// pushed as round 0 to seed the global table.
+    fn initial_deltas(&self) -> HashMap<u64, f64> {
+        let mut d = HashMap::new();
+        for (doc, zs) in self.docs.iter().zip(&self.assign) {
+            for (&w, &z) in doc.iter().zip(zs) {
+                *d.entry(self.cfg.slot(w as u64, z)).or_insert(0.0) += 1.0;
+                *d.entry(self.cfg.total_slot(z)).or_insert(0.0) += 1.0;
+            }
+        }
+        d
+    }
+
+    /// Push a delta map and fold the global sums into owned storage.
+    fn push<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        kylix: &Kylix,
+        deltas: &HashMap<u64, f64>,
+        channel: u32,
+    ) -> Result<()> {
+        let out_idx: Vec<u64> = deltas.keys().copied().collect();
+        let out_val: Vec<f64> = out_idx.iter().map(|s| deltas[s]).collect();
+        let (updates, _) =
+            kylix.allreduce_combined(comm, &self.owned, &out_idx, &out_val, SumReducer, channel)?;
+        for (c, u) in self.owned_counts.iter_mut().zip(updates) {
+            *c += u;
+        }
+        Ok(())
+    }
+
+    /// Fetch the count rows for a word set plus the topic totals.
+    fn fetch<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        kylix: &Kylix,
+        words: &[u64],
+        channel: u32,
+    ) -> Result<HashMap<u64, f64>> {
+        let cfg = self.cfg;
+        let mut in_idx: Vec<u64> = words
+            .iter()
+            .flat_map(|&w| (0..cfg.k).map(move |k| cfg.slot(w, k)))
+            .collect();
+        for k in 0..cfg.k {
+            in_idx.push(cfg.total_slot(k));
+        }
+        in_idx.sort_unstable();
+        in_idx.dedup();
+        let (vals, _) = kylix.allreduce_combined(
+            comm,
+            &in_idx,
+            &self.owned,
+            &self.owned_counts,
+            SumReducer,
+            channel,
+        )?;
+        Ok(in_idx.into_iter().zip(vals).collect())
+    }
+
+    /// Seed the global table from the initial assignments (call once,
+    /// collectively, before the first [`Self::step`]).
+    pub fn bootstrap<C: Comm>(&mut self, comm: &mut C, kylix: &Kylix) -> Result<()> {
+        let deltas = self.initial_deltas();
+        self.push(comm, kylix, &deltas, 1)
+    }
+
+    /// One batched Gibbs round over all local documents. `round` must
+    /// be globally consistent and strictly increasing from 1.
+    pub fn step<C: Comm>(&mut self, comm: &mut C, kylix: &Kylix, round: u32) -> Result<()> {
+        let cfg = self.cfg;
+        let channel = round.wrapping_add(1).wrapping_mul(4);
+        // Batch word set.
+        let mut words: Vec<u64> = self
+            .docs
+            .iter()
+            .flat_map(|d| d.iter().map(|&w| w as u64))
+            .collect();
+        words.sort_unstable();
+        words.dedup();
+        let counts = self.fetch(comm, kylix, &words, channel)?;
+
+        // Sample every token against the fetched (stale) counts.
+        let w_beta = cfg.vocab as f64 * cfg.beta;
+        let mut deltas: HashMap<u64, f64> = HashMap::new();
+        for (d, (doc, zs)) in self.docs.iter().zip(self.assign.iter_mut()).enumerate() {
+            let mut rng = Xoshiro256::new(mix_many(&[
+                self.seed,
+                round as u64,
+                self.rank as u64,
+                d as u64,
+            ]));
+            for (t, (&w, z)) in doc.iter().zip(zs.iter_mut()).enumerate() {
+                let _ = t;
+                let old = *z;
+                // Exclude this token from its own document counts.
+                self.doc_topic[d][old] -= 1.0;
+                let mut weights = Vec::with_capacity(cfg.k);
+                let mut acc = 0.0;
+                for k in 0..cfg.k {
+                    let nwk = counts
+                        .get(&cfg.slot(w as u64, k))
+                        .copied()
+                        .unwrap_or(0.0);
+                    let nk = counts.get(&cfg.total_slot(k)).copied().unwrap_or(0.0);
+                    let p = (self.doc_topic[d][k] + cfg.alpha) * (nwk + cfg.beta)
+                        / (nk + w_beta);
+                    acc += p.max(0.0);
+                    weights.push(acc);
+                }
+                let u = rng.next_f64() * acc;
+                let new = weights.partition_point(|&x| x <= u).min(cfg.k - 1);
+                self.doc_topic[d][new] += 1.0;
+                *z = new;
+                if new != old {
+                    *deltas.entry(cfg.slot(w as u64, old)).or_insert(0.0) -= 1.0;
+                    *deltas.entry(cfg.total_slot(old)).or_insert(0.0) -= 1.0;
+                    *deltas.entry(cfg.slot(w as u64, new)).or_insert(0.0) += 1.0;
+                    *deltas.entry(cfg.total_slot(new)).or_insert(0.0) += 1.0;
+                }
+            }
+        }
+        if deltas.is_empty() {
+            // Still participate in the collective push with no content.
+            deltas.insert(cfg.total_slot(0), 0.0);
+        }
+        self.push(comm, kylix, &deltas, channel + 2)
+    }
+
+    /// The owned `(slot, count)` shard (for assembling the global model
+    /// in tests and reporting).
+    pub fn shard(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.owned
+            .iter()
+            .copied()
+            .zip(self.owned_counts.iter().copied())
+    }
+
+    /// This machine's current topic assignments.
+    pub fn assignments(&self) -> &[Vec<usize>] {
+        &self.assign
+    }
+}
+
+/// Sequential reference: the identical synchronous batched sampler over
+/// all machines' shards, same seeds, same arithmetic.
+#[allow(clippy::needless_range_loop)] // `k` is a topic id, not an index
+pub fn lda_reference(
+    cfg: LdaConfig,
+    shards: &[Vec<Vec<u32>>],
+    seed: u64,
+    rounds: usize,
+) -> HashMap<u64, f64> {
+    /// Per-machine mirror of the worker state: (assignments, doc-topic
+    /// counts).
+    type MirrorState = (Vec<Vec<usize>>, Vec<Vec<f64>>);
+    // Mirror LdaWorker state per machine.
+    let mut workers: Vec<MirrorState> = shards
+        .iter()
+        .enumerate()
+        .map(|(rank, docs)| {
+            let assign: Vec<Vec<usize>> = docs
+                .iter()
+                .enumerate()
+                .map(|(d, doc)| {
+                    let mut rng =
+                        Xoshiro256::new(mix_many(&[seed, 0xA551, rank as u64, d as u64]));
+                    doc.iter().map(|_| rng.next_index(cfg.k)).collect()
+                })
+                .collect();
+            let doc_topic: Vec<Vec<f64>> = docs
+                .iter()
+                .zip(&assign)
+                .map(|(doc, zs)| {
+                    let mut dt = vec![0.0; cfg.k];
+                    for (_, &z) in doc.iter().zip(zs) {
+                        dt[z] += 1.0;
+                    }
+                    dt
+                })
+                .collect();
+            (assign, doc_topic)
+        })
+        .collect();
+    let mut global: HashMap<u64, f64> = HashMap::new();
+    for (rank, docs) in shards.iter().enumerate() {
+        for (doc, zs) in docs.iter().zip(&workers[rank].0) {
+            for (&w, &z) in doc.iter().zip(zs) {
+                *global.entry(cfg.slot(w as u64, z)).or_insert(0.0) += 1.0;
+                *global.entry(cfg.total_slot(z)).or_insert(0.0) += 1.0;
+            }
+        }
+    }
+    let w_beta = cfg.vocab as f64 * cfg.beta;
+    for round in 1..=rounds {
+        // All machines sample against the same round-start snapshot.
+        let snapshot = global.clone();
+        let mut deltas: HashMap<u64, f64> = HashMap::new();
+        for (rank, docs) in shards.iter().enumerate() {
+            let (assign, doc_topic) = &mut workers[rank];
+            for (d, (doc, zs)) in docs.iter().zip(assign.iter_mut()).enumerate() {
+                let mut rng = Xoshiro256::new(mix_many(&[
+                    seed,
+                    round as u64,
+                    rank as u64,
+                    d as u64,
+                ]));
+                for (&w, z) in doc.iter().zip(zs.iter_mut()) {
+                    let old = *z;
+                    doc_topic[d][old] -= 1.0;
+                    let mut weights = Vec::with_capacity(cfg.k);
+                    let mut acc = 0.0;
+                    for k in 0..cfg.k {
+                        let nwk = snapshot
+                            .get(&cfg.slot(w as u64, k))
+                            .copied()
+                            .unwrap_or(0.0);
+                        let nk = snapshot.get(&cfg.total_slot(k)).copied().unwrap_or(0.0);
+                        let p = (doc_topic[d][k] + cfg.alpha) * (nwk + cfg.beta)
+                            / (nk + w_beta);
+                        acc += p.max(0.0);
+                        weights.push(acc);
+                    }
+                    let u = rng.next_f64() * acc;
+                    let new = weights.partition_point(|&x| x <= u).min(cfg.k - 1);
+                    doc_topic[d][new] += 1.0;
+                    *z = new;
+                    if new != old {
+                        *deltas.entry(cfg.slot(w as u64, old)).or_insert(0.0) -= 1.0;
+                        *deltas.entry(cfg.total_slot(old)).or_insert(0.0) -= 1.0;
+                        *deltas.entry(cfg.slot(w as u64, new)).or_insert(0.0) += 1.0;
+                        *deltas.entry(cfg.total_slot(new)).or_insert(0.0) += 1.0;
+                    }
+                }
+            }
+        }
+        for (s, d) in deltas {
+            *global.entry(s).or_insert(0.0) += d;
+        }
+    }
+    global.retain(|_, v| *v != 0.0);
+    global
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kylix::NetworkPlan;
+    use kylix_net::LocalCluster;
+
+    fn cfg() -> LdaConfig {
+        LdaConfig {
+            k: 2,
+            vocab: 20,
+            alpha: 0.5,
+            beta: 0.1,
+        }
+    }
+
+    /// Synthetic corpus: machine shards of documents drawn purely from
+    /// one of two disjoint vocabularies.
+    fn corpus(m: usize, docs_per: usize, seed: u64) -> Vec<Vec<Vec<u32>>> {
+        (0..m)
+            .map(|mc| {
+                let mut rng = Xoshiro256::new(mix_many(&[seed, mc as u64]));
+                (0..docs_per)
+                    .map(|d| {
+                        let base = if d % 2 == 0 { 0u32 } else { 10 };
+                        (0..12).map(|_| base + rng.next_below(10) as u32).collect()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn distributed_matches_reference_exactly() {
+        let m = 4;
+        let shards = corpus(m, 6, 3);
+        let rounds = 4;
+        let seed = 99;
+        let expected = lda_reference(cfg(), &shards, seed, rounds);
+        let got: Vec<Vec<(u64, f64)>> = LocalCluster::run(m, |mut comm| {
+            let me = comm.rank();
+            let kylix = Kylix::new(NetworkPlan::new(&[2, 2]));
+            let mut worker = LdaWorker::new(cfg(), me, m, shards[me].clone(), seed);
+            worker.bootstrap(&mut comm, &kylix).unwrap();
+            for r in 1..=rounds {
+                worker.step(&mut comm, &kylix, r as u32).unwrap();
+            }
+            worker.shard().collect()
+        });
+        let mut table: HashMap<u64, f64> = HashMap::new();
+        for shard in got {
+            for (s, c) in shard {
+                if c != 0.0 {
+                    assert!(!table.contains_key(&s), "slot {s} homed twice");
+                    table.insert(s, c);
+                }
+            }
+        }
+        assert_eq!(table.len(), expected.len());
+        for (s, c) in &expected {
+            assert_eq!(table.get(s), Some(c), "slot {s}");
+        }
+    }
+
+    #[test]
+    fn topics_separate_disjoint_vocabularies() {
+        let m = 2;
+        let shards = corpus(m, 30, 11);
+        let rounds = 25;
+        let table = lda_reference(cfg(), &shards, 7, rounds);
+        let c = cfg();
+        // Dominant topic of each vocabulary half.
+        let dominant = |w: u64| -> usize {
+            (0..c.k)
+                .max_by(|&a, &b| {
+                    let ca = table.get(&c.slot(w, a)).copied().unwrap_or(0.0);
+                    let cb = table.get(&c.slot(w, b)).copied().unwrap_or(0.0);
+                    ca.partial_cmp(&cb).unwrap()
+                })
+                .unwrap()
+        };
+        let left: Vec<usize> = (0..10).map(dominant).collect();
+        let right: Vec<usize> = (10..20).map(dominant).collect();
+        let left_mode = if left.iter().filter(|&&t| t == 0).count() >= 5 { 0 } else { 1 };
+        let right_mode = if right.iter().filter(|&&t| t == 0).count() >= 5 { 0 } else { 1 };
+        assert_ne!(
+            left_mode, right_mode,
+            "disjoint vocabularies should land in different topics: {left:?} vs {right:?}"
+        );
+        // Counts are non-negative and totals match token count.
+        let total_tokens: f64 = (0..c.k)
+            .map(|k| table.get(&c.total_slot(k)).copied().unwrap_or(0.0))
+            .sum();
+        assert_eq!(total_tokens, (m * 30 * 12) as f64);
+        assert!(table.values().all(|&v| v >= 0.0));
+    }
+}

@@ -1,0 +1,339 @@
+//! Mini-batch SGD matrix factorisation — the "factor models" of paper
+//! §I.A.1 ("This is easily seen for factor and regression models whose
+//! loss function has the form l = f(Xᵢ, v)").
+//!
+//! Rating matrix `R ≈ U·Vᵀ` with rank-`k` user factors `U` and item
+//! factors `V`, trained on distributed rating shards. Factors live at
+//! feature homes in a flattened slot space (`user·k + j` for user
+//! factors, offset by `n_users·k` for item factors). Every batch is the
+//! §III minibatch pattern:
+//!
+//! 1. **fetch** — workers request the factor rows of this batch's users
+//!    and items (a combined allreduce whose in-set changes per batch;
+//!    homes contribute their stored shard);
+//! 2. local SGD gradient of the squared error on the batch ratings;
+//! 3. **push** — workers contribute `−η·∂loss`, homes request their
+//!    shard back and update storage.
+//!
+//! Synchronous semantics make the distributed run bit-identical to a
+//! sequential reference, and training demonstrably reduces the fit
+//! error on a planted low-rank matrix.
+
+use kylix::{Kylix, Result};
+use kylix_net::Comm;
+use kylix_sparse::{mix64, mix_many, SumReducer, Xoshiro256};
+use std::collections::HashMap;
+
+/// One observed rating.
+#[derive(Debug, Clone, Copy)]
+pub struct Rating {
+    /// User id (`< n_users`).
+    pub user: u32,
+    /// Item id (`< n_items`).
+    pub item: u32,
+    /// Observed value.
+    pub value: f64,
+}
+
+/// Shapes and hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MfConfig {
+    /// Number of users.
+    pub n_users: u64,
+    /// Number of items.
+    pub n_items: u64,
+    /// Factor rank.
+    pub k: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// L2 regularisation.
+    pub l2: f64,
+}
+
+impl MfConfig {
+    fn user_slot(&self, u: u64, j: usize) -> u64 {
+        u * self.k as u64 + j as u64
+    }
+    fn item_slot(&self, i: u64, j: usize) -> u64 {
+        (self.n_users + i) * self.k as u64 + j as u64
+    }
+    fn n_slots(&self) -> u64 {
+        (self.n_users + self.n_items) * self.k as u64
+    }
+
+    /// Deterministic factor initialisation (same on every machine):
+    /// small pseudo-random entries derived from the slot id.
+    fn init(&self, slot: u64, seed: u64) -> f64 {
+        let h = mix_many(&[seed, 0xFAC7, slot]);
+        ((h >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 0.2
+    }
+}
+
+/// One machine's trainer state.
+pub struct MfWorker {
+    cfg: MfConfig,
+    seed: u64,
+    /// Owned slots (hash shard of the factor space), sorted, and values.
+    owned: Vec<u64>,
+    owned_vals: Vec<f64>,
+}
+
+impl MfWorker {
+    /// Create a worker owning its hash shard of the factor space,
+    /// initialised deterministically.
+    pub fn new(cfg: MfConfig, rank: usize, m: usize, seed: u64) -> Self {
+        let owned: Vec<u64> = (0..cfg.n_slots())
+            .filter(|&s| (mix64(s) % m as u64) as usize == rank)
+            .collect();
+        let owned_vals = owned.iter().map(|&s| cfg.init(s, seed)).collect();
+        Self {
+            cfg,
+            seed,
+            owned,
+            owned_vals,
+        }
+    }
+
+    /// One synchronous mini-batch step over this machine's ratings;
+    /// returns the batch's mean squared error (pre-update). `round`
+    /// must be globally consistent, strictly increasing from 1.
+    pub fn step<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        kylix: &Kylix,
+        batch: &[Rating],
+        round: u32,
+    ) -> Result<f64> {
+        let cfg = self.cfg;
+        let channel = round.wrapping_mul(4);
+        // Batch slot set: all factor rows of touched users and items.
+        let mut in_idx: Vec<u64> = Vec::with_capacity(batch.len() * 2 * cfg.k);
+        for r in batch {
+            for j in 0..cfg.k {
+                in_idx.push(cfg.user_slot(r.user as u64, j));
+                in_idx.push(cfg.item_slot(r.item as u64, j));
+            }
+        }
+        in_idx.sort_unstable();
+        in_idx.dedup();
+
+        // Fetch current factors.
+        let (vals, _) = kylix.allreduce_combined(
+            comm,
+            &in_idx,
+            &self.owned,
+            &self.owned_vals,
+            SumReducer,
+            channel,
+        )?;
+        let f: HashMap<u64, f64> = in_idx.iter().copied().zip(vals).collect();
+
+        // Gradient of Σ (r - u·v)² + λ(|u|² + |v|²) over the batch.
+        let mut grad: HashMap<u64, f64> = HashMap::new();
+        let mut sse = 0.0;
+        for r in batch {
+            let dot: f64 = (0..cfg.k)
+                .map(|j| {
+                    f[&cfg.user_slot(r.user as u64, j)] * f[&cfg.item_slot(r.item as u64, j)]
+                })
+                .sum();
+            let err = r.value - dot;
+            sse += err * err;
+            for j in 0..cfg.k {
+                let us = cfg.user_slot(r.user as u64, j);
+                let is = cfg.item_slot(r.item as u64, j);
+                let (u, v) = (f[&us], f[&is]);
+                *grad.entry(us).or_insert(0.0) += -2.0 * err * v + 2.0 * cfg.l2 * u;
+                *grad.entry(is).or_insert(0.0) += -2.0 * err * u + 2.0 * cfg.l2 * v;
+            }
+        }
+        let scale = -cfg.learning_rate / batch.len().max(1) as f64;
+
+        // Push scaled gradients; homes fold updates into storage.
+        let g_idx: Vec<u64> = grad.keys().copied().collect();
+        let g_val: Vec<f64> = g_idx.iter().map(|s| grad[s] * scale).collect();
+        let (updates, _) = kylix.allreduce_combined(
+            comm,
+            &self.owned,
+            &g_idx,
+            &g_val,
+            SumReducer,
+            channel + 2,
+        )?;
+        for (w, u) in self.owned_vals.iter_mut().zip(updates) {
+            *w += u;
+        }
+        Ok(sse / batch.len().max(1) as f64)
+    }
+
+    /// The owned `(slot, value)` shard.
+    pub fn shard(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.owned
+            .iter()
+            .copied()
+            .zip(self.owned_vals.iter().copied())
+    }
+
+    /// The deterministic seed used for factor initialisation.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// Sequential reference doing identical synchronous math.
+pub fn mf_reference(
+    cfg: MfConfig,
+    shards: &[Vec<Rating>],
+    seed: u64,
+    rounds: usize,
+) -> HashMap<u64, f64> {
+    let mut w: HashMap<u64, f64> = (0..cfg.n_slots())
+        .map(|s| (s, cfg.init(s, seed)))
+        .collect();
+    for _ in 0..rounds {
+        let mut update: HashMap<u64, f64> = HashMap::new();
+        for batch in shards {
+            let scale = -cfg.learning_rate / batch.len().max(1) as f64;
+            for r in batch {
+                let dot: f64 = (0..cfg.k)
+                    .map(|j| {
+                        w[&cfg.user_slot(r.user as u64, j)]
+                            * w[&cfg.item_slot(r.item as u64, j)]
+                    })
+                    .sum();
+                let err = r.value - dot;
+                for j in 0..cfg.k {
+                    let us = cfg.user_slot(r.user as u64, j);
+                    let is = cfg.item_slot(r.item as u64, j);
+                    let (u, v) = (w[&us], w[&is]);
+                    *update.entry(us).or_insert(0.0) +=
+                        (-2.0 * err * v + 2.0 * cfg.l2 * u) * scale;
+                    *update.entry(is).or_insert(0.0) +=
+                        (-2.0 * err * u + 2.0 * cfg.l2 * v) * scale;
+                }
+            }
+        }
+        for (s, u) in update {
+            *w.get_mut(&s).expect("slot exists") += u;
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kylix::NetworkPlan;
+    use kylix_net::LocalCluster;
+
+    fn cfg() -> MfConfig {
+        MfConfig {
+            n_users: 12,
+            n_items: 10,
+            k: 3,
+            learning_rate: 1.5,
+            l2: 0.001,
+        }
+    }
+
+    /// Planted rank-`k` ratings: R = P·Qᵀ with known P, Q.
+    fn planted_ratings(c: &MfConfig, per_shard: usize, shards: usize, seed: u64) -> Vec<Vec<Rating>> {
+        let p = |u: u64, j: usize| ((mix_many(&[7, u, j as u64]) >> 11) as f64
+            / (1u64 << 53) as f64)
+            - 0.5;
+        let q = |i: u64, j: usize| ((mix_many(&[13, i, j as u64]) >> 11) as f64
+            / (1u64 << 53) as f64)
+            - 0.5;
+        (0..shards)
+            .map(|mc| {
+                let mut rng = Xoshiro256::new(mix_many(&[seed, mc as u64]));
+                (0..per_shard)
+                    .map(|_| {
+                        let user = rng.next_below(c.n_users) as u32;
+                        let item = rng.next_below(c.n_items) as u32;
+                        let value: f64 =
+                            (0..c.k).map(|j| p(user as u64, j) * q(item as u64, j)).sum();
+                        Rating { user, item, value }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn distributed_matches_reference() {
+        let c = cfg();
+        let m = 4;
+        let shards = planted_ratings(&c, 16, m, 5);
+        let rounds = 5;
+        let seed = 21;
+        let expected = mf_reference(c, &shards, seed, rounds);
+        let got: Vec<Vec<(u64, f64)>> = LocalCluster::run(m, |mut comm| {
+            let me = comm.rank();
+            let kylix = Kylix::new(NetworkPlan::new(&[2, 2]));
+            let mut worker = MfWorker::new(c, me, m, seed);
+            for r in 0..rounds {
+                worker
+                    .step(&mut comm, &kylix, &shards[me], r as u32 + 1)
+                    .unwrap();
+            }
+            worker.shard().collect()
+        });
+        let mut all: HashMap<u64, f64> = HashMap::new();
+        for shard in got {
+            for (s, v) in shard {
+                assert!(!all.contains_key(&s), "slot {s} homed twice");
+                all.insert(s, v);
+            }
+        }
+        assert_eq!(all.len() as u64, c.n_slots());
+        for (s, v) in &expected {
+            let g = all[s];
+            assert!((g - v).abs() < 1e-9, "slot {s}: {g} vs {v}");
+        }
+    }
+
+    #[test]
+    fn training_reduces_error_on_planted_matrix() {
+        let c = cfg();
+        let m = 2;
+        let shards = planted_ratings(&c, 40, m, 9);
+        let rounds = 400;
+        let errors: Vec<Vec<f64>> = LocalCluster::run(m, |mut comm| {
+            let me = comm.rank();
+            let kylix = Kylix::new(NetworkPlan::direct(2));
+            let mut worker = MfWorker::new(c, me, m, 33);
+            (0..rounds)
+                .map(|r| {
+                    worker
+                        .step(&mut comm, &kylix, &shards[me], r as u32 + 1)
+                        .unwrap()
+                })
+                .collect()
+        });
+        for per_machine in &errors {
+            let early: f64 = per_machine[..5].iter().sum::<f64>() / 5.0;
+            let late: f64 = per_machine[rounds - 5..].iter().sum::<f64>() / 5.0;
+            assert!(
+                late < early * 0.4,
+                "MSE should fall sharply on a planted low-rank matrix: {early:.5} -> {late:.5}"
+            );
+        }
+    }
+
+    #[test]
+    fn shards_tile_the_factor_space() {
+        let c = cfg();
+        let m = 3;
+        let mut all: Vec<u64> = (0..m)
+            .flat_map(|rank| {
+                MfWorker::new(c, rank, m, 1)
+                    .shard()
+                    .map(|(s, _)| s)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..c.n_slots()).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,95 @@
+//! Binary butterfly sparse allreduce — degrees `[2, 2, …, 2]`.
+//!
+//! The lowest-latency topology for *fixed-cost* messages (paper
+//! §II.A.3), and the second comparator of Fig. 6. On sparse power-law
+//! data it loses to the heterogeneous plan: `log₂ m` layers mean more
+//! rounds of latency and more replicated routing volume than the few
+//! wide layers the §IV workflow picks.
+
+use kylix::config::Configured;
+use kylix::{Kylix, NetworkPlan, Result};
+use kylix_net::Comm;
+use kylix_sparse::{Reducer, Scalar};
+
+/// Binary butterfly sparse allreduce over `m = 2^k` nodes.
+#[derive(Debug, Clone)]
+pub struct BinaryButterfly {
+    inner: Kylix,
+}
+
+impl BinaryButterfly {
+    /// Build for a power-of-two communicator size.
+    pub fn new(m: usize) -> Self {
+        Self {
+            inner: Kylix::new(NetworkPlan::binary(m)),
+        }
+    }
+
+    /// The underlying all-twos plan.
+    pub fn plan(&self) -> &NetworkPlan {
+        self.inner.plan()
+    }
+
+    /// Configure routing for fixed in/out sets.
+    pub fn configure<C: Comm>(
+        &self,
+        comm: &mut C,
+        in_indices: &[u64],
+        out_indices: &[u64],
+        channel: u32,
+    ) -> Result<Configured> {
+        self.inner.configure(comm, in_indices, out_indices, channel)
+    }
+
+    /// One-shot combined configuration + reduction.
+    pub fn allreduce<C, V, R>(
+        &self,
+        comm: &mut C,
+        in_indices: &[u64],
+        out_indices: &[u64],
+        out_values: &[V],
+        reducer: R,
+        channel: u32,
+    ) -> Result<Vec<V>>
+    where
+        C: Comm,
+        V: Scalar,
+        R: Reducer<V>,
+    {
+        self.inner
+            .allreduce_combined(comm, in_indices, out_indices, out_values, reducer, channel)
+            .map(|(v, _)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kylix_net::LocalCluster;
+    use kylix_sparse::SumReducer;
+
+    #[test]
+    fn structure_is_all_twos() {
+        let b = BinaryButterfly::new(32);
+        assert_eq!(b.plan().degrees(), &[2, 2, 2, 2, 2]);
+        assert_eq!(b.plan().messages_per_node(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        BinaryButterfly::new(12);
+    }
+
+    #[test]
+    fn binary_reduces_correctly() {
+        let got: Vec<Vec<f64>> = LocalCluster::run(8, |mut comm| {
+            let me = comm.rank() as u64;
+            BinaryButterfly::new(8)
+                .allreduce(&mut comm, &[0u64], &[me % 2], &[1.0], SumReducer, 0)
+                .unwrap()
+        });
+        // Index 0 contributed by the 4 even ranks.
+        assert!(got.iter().all(|v| v[0] == 4.0));
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # kylix-baselines
+//!
+//! Every comparator the paper measures Kylix against, implemented (or,
+//! where the original is a full external system, modelled) from scratch:
+//!
+//! * [`direct`] — **direct all-to-all** sparse allreduce (§II.A.2), the
+//!   topology used by PowerGraph/Hadoop/Spark-style systems. In Kylix's
+//!   framework this is the degenerate one-layer plan `[m]`; the module
+//!   wraps it behind an explicit type and documents the packet-size
+//!   pathology that motivates the paper.
+//! * [`binary`] — the **binary butterfly** (`[2, 2, …, 2]`), the other
+//!   classical comparator of Fig. 6.
+//! * [`tree`] — **tree allreduce** (§II.A.1), implemented to demonstrate
+//!   why it is hopeless for sparse data: intermediate unions grow toward
+//!   fully dense at the root.
+//! * [`ring`] — dense ring allreduce (reduce-scatter + allgather), the
+//!   scientific-computing classic the paper distinguishes itself from in
+//!   §VIII; its cost is independent of sparsity.
+//! * [`powergraph`] — a simplified PowerGraph-style **GAS engine**
+//!   (vertex cut over random edge partitions, mirror→master gather,
+//!   master→mirror scatter, all direct all-to-all), used for the Fig. 8
+//!   system comparison.
+//! * [`hadoop`] — a calibrated **Hadoop/Pegasus cost model** (the paper
+//!   itself estimates Pegasus runtimes by linear scaling, §VII.D; we do
+//!   the same, with the calibration documented).
+
+pub mod binary;
+pub mod direct;
+pub mod hadoop;
+pub mod powergraph;
+pub mod ring;
+pub mod tree;
+
+pub use binary::BinaryButterfly;
+pub use direct::DirectAllreduce;
+pub use hadoop::HadoopModel;
+pub use powergraph::GasEngine;
+pub use ring::ring_allreduce;
+pub use tree::tree_allreduce;

@@ -1,0 +1,84 @@
+//! Criterion bench: real wall-clock sparse allreduce on the in-process
+//! thread cluster.
+//!
+//! These are genuine end-to-end executions of the protocol (threads,
+//! channels, codecs, merges) rather than virtual-time simulations —
+//! they measure the CPU cost of the Kylix machinery itself, per
+//! topology and mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kylix::{Kylix, NetworkPlan};
+use kylix_net::{Comm, LocalCluster};
+use kylix_powerlaw::{DensityModel, PartitionGenerator};
+use kylix_sparse::SumReducer;
+use std::hint::black_box;
+
+fn workload(m: usize, n: u64, density: f64, seed: u64) -> Vec<Vec<u64>> {
+    let model = DensityModel::new(n, 1.1);
+    let gen = PartitionGenerator::with_density(model, density, seed);
+    (0..m).map(|i| gen.indices(i)).collect()
+}
+
+/// Full combined config+reduce on an 8-thread cluster per topology.
+fn bench_combined(c: &mut Criterion) {
+    let m = 8;
+    let idx = workload(m, 50_000, 0.2, 11);
+    let mut group = c.benchmark_group("allreduce_combined_8nodes");
+    for degrees in [vec![8usize], vec![4, 2], vec![2, 2, 2]] {
+        let plan = NetworkPlan::new(&degrees);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(plan.to_string()),
+            &plan,
+            |b, plan| {
+                b.iter(|| {
+                    let out = LocalCluster::run(m, |mut comm| {
+                        let me = comm.rank();
+                        let vals = vec![1.0f64; idx[me].len()];
+                        Kylix::new(plan.clone())
+                            .allreduce_combined(
+                                &mut comm,
+                                &idx[me],
+                                &idx[me],
+                                &vals,
+                                SumReducer,
+                                0,
+                            )
+                            .unwrap()
+                            .0
+                    });
+                    black_box(out)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Configure-once, reduce-many: the amortised PageRank-style path.
+fn bench_repeated_reduce(c: &mut Criterion) {
+    let m = 8;
+    let idx = workload(m, 50_000, 0.2, 13);
+    c.bench_function("reduce_amortised_4x2", |b| {
+        b.iter(|| {
+            let out = LocalCluster::run(m, |mut comm| {
+                let me = comm.rank();
+                let kylix = Kylix::new(NetworkPlan::new(&[4, 2]));
+                let mut state = kylix.configure(&mut comm, &idx[me], &idx[me], 0).unwrap();
+                let vals = vec![1.0f64; idx[me].len()];
+                let mut last = Vec::new();
+                for _ in 0..4 {
+                    last = state.reduce(&mut comm, &vals, SumReducer).unwrap();
+                }
+                last
+            });
+            black_box(out)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_combined, bench_repeated_reduce
+}
+criterion_main!(benches);

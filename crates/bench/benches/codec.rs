@@ -1,0 +1,43 @@
+//! Criterion bench: wire codec throughput.
+//!
+//! §VI of the paper stresses that on 10 Gb/s links, memory/CPU costs of
+//! the messaging path can dominate; the codec must move multiple GB/s
+//! per core. These benches pin encode/decode throughput for index lists
+//! and value vectors.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kylix::codec::{decode_keys, decode_values, encode_keys, encode_values};
+use kylix_sparse::{IndexSet, Xoshiro256};
+use std::hint::black_box;
+
+fn bench_keys(c: &mut Criterion) {
+    let mut rng = Xoshiro256::new(3);
+    let set = IndexSet::from_indices((0..100_000).map(|_| rng.next_u64()));
+    let encoded = encode_keys(set.keys());
+    let mut group = c.benchmark_group("codec_keys");
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode_100k", |b| {
+        b.iter(|| black_box(encode_keys(black_box(set.keys()))))
+    });
+    group.bench_function("decode_100k", |b| {
+        b.iter(|| black_box(decode_keys(black_box(&encoded)).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_values(c: &mut Criterion) {
+    let vals: Vec<f64> = (0..100_000).map(|i| i as f64 * 0.5).collect();
+    let encoded = encode_values(&vals);
+    let mut group = c.benchmark_group("codec_values");
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode_100k_f64", |b| {
+        b.iter(|| black_box(encode_values(black_box(&vals))))
+    });
+    group.bench_function("decode_100k_f64", |b| {
+        b.iter(|| black_box(decode_values::<f64>(black_box(&encoded)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_keys, bench_values);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion bench: the simulator substrate itself.
+//!
+//! The virtual-time cluster is a system we built; its own throughput
+//! (simulated messages per wall second, full collectives per wall
+//! second) bounds how large an experiment sweep stays interactive.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kylix::{Kylix, NetworkPlan};
+use kylix_net::{Comm, Phase, Tag};
+use kylix_netsim::{NicModel, SimCluster};
+use kylix_powerlaw::{DensityModel, PartitionGenerator};
+use kylix_sparse::SumReducer;
+use std::hint::black_box;
+
+/// Raw message throughput: stream N messages between two sim nodes.
+fn bench_message_stream(c: &mut Criterion) {
+    let n = 1000u32;
+    let mut group = c.benchmark_group("sim_message_stream");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("1000_msgs_1kb", |b| {
+        b.iter(|| {
+            let cluster = SimCluster::new(2, NicModel::ec2_10g());
+            let out = cluster.run_all(|mut comm| {
+                if comm.rank() == 0 {
+                    for i in 0..n {
+                        comm.send(1, Tag::new(Phase::App, 0, i), Bytes::from(vec![0u8; 1024]));
+                    }
+                    0.0
+                } else {
+                    for i in 0..n {
+                        comm.recv(0, Tag::new(Phase::App, 0, i)).unwrap();
+                    }
+                    comm.now()
+                }
+            });
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+/// Full collectives on simulated clusters of growing size.
+fn bench_sim_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_allreduce");
+    group.sample_size(10);
+    for &m in &[8usize, 16, 64] {
+        let model = DensityModel::new(8192, 1.1);
+        let gen = PartitionGenerator::with_density(model, 0.2, 5);
+        let idx: Vec<Vec<u64>> = (0..m).map(|i| gen.indices(i)).collect();
+        let plan = if m == 64 {
+            NetworkPlan::new(&[8, 4, 2])
+        } else {
+            NetworkPlan::binary(m)
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| {
+                let cluster = SimCluster::new(m, NicModel::ec2_10g());
+                let out = cluster.run_all(|mut comm| {
+                    let me = comm.rank();
+                    let vals = vec![1.0f64; idx[me].len()];
+                    Kylix::new(plan.clone())
+                        .allreduce_combined(&mut comm, &idx[me], &idx[me], &vals, SumReducer, 0)
+                        .unwrap()
+                        .0
+                });
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_message_stream, bench_sim_allreduce);
+criterion_main!(benches);

@@ -1,0 +1,367 @@
+//! Regenerate every table and figure of the Kylix paper's evaluation.
+//!
+//! ```text
+//! figures [fig2|fig4|fig5|fig6|fig7|table1|fig8|fig9|all] [--scale N] [--seed N] [--json PATH]
+//! ```
+//!
+//! Each experiment prints an aligned text table; `--json` additionally
+//! dumps machine-readable rows (used to refresh EXPERIMENTS.md).
+
+use kylix_bench::{ablation, fig2, fig4, fig5, fig6, fig7, fig8, fig9, print_table, table1};
+use std::collections::BTreeMap;
+
+#[derive(Debug)]
+struct Args {
+    which: Vec<String>,
+    scale: u64,
+    seed: u64,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut which = Vec::new();
+    let mut scale = 4000;
+    let mut seed = 7;
+    let mut json = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => scale = it.next().expect("--scale N").parse().expect("scale"),
+            "--seed" => seed = it.next().expect("--seed N").parse().expect("seed"),
+            "--json" => json = Some(it.next().expect("--json PATH")),
+            "-h" | "--help" => {
+                eprintln!(
+                    "usage: figures [fig2|fig4|fig5|fig6|fig7|table1|fig8|fig9|all]… \
+                     [--scale N] [--seed N] [--json PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => which.push(other.to_string()),
+        }
+    }
+    if which.is_empty() || which.iter().any(|w| w == "all") {
+        which = [
+            "fig2", "fig4", "fig5", "fig6", "fig7", "table1", "fig8", "fig9", "ablations",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+    Args {
+        which,
+        scale,
+        seed,
+        json,
+    }
+}
+
+fn mb(bytes: f64) -> String {
+    format!("{:.2}", bytes / 1e6)
+}
+
+fn main() {
+    let args = parse_args();
+    let mut json_out: BTreeMap<String, serde_json::Value> = BTreeMap::new();
+
+    for which in &args.which {
+        match which.as_str() {
+            "fig2" => {
+                let rows = fig2::run();
+                print_table(
+                    "Fig. 2 — throughput vs packet size (10 Gb/s NIC model)",
+                    &["packet", "measured Gb/s", "model Gb/s", "utilisation"],
+                    &rows
+                        .iter()
+                        .map(|r| {
+                            vec![
+                                format!("{} KB", r.packet_bytes / 1024),
+                                format!("{:.2}", r.measured_gbps),
+                                format!("{:.2}", r.model_gbps),
+                                format!("{:.1}%", r.utilisation * 100.0),
+                            ]
+                        })
+                        .collect::<Vec<_>>(),
+                );
+                json_out.insert(
+                    "fig2".into(),
+                    serde_json::json!(rows
+                        .iter()
+                        .map(|r| serde_json::json!({
+                            "packet_bytes": r.packet_bytes,
+                            "measured_gbps": r.measured_gbps,
+                            "utilisation": r.utilisation,
+                        }))
+                        .collect::<Vec<_>>()),
+                );
+            }
+            "fig4" => {
+                let rows = fig4::run(1 << 18);
+                print_table(
+                    "Fig. 4 — density vs normalised scaling factor (n = 2^18)",
+                    &["alpha", "lambda/lambda_0.9", "density"],
+                    &rows
+                        .iter()
+                        .filter(|r| {
+                            let l = r.lambda_norm.log10();
+                            (l - l.round()).abs() < 1e-9
+                        })
+                        .map(|r| {
+                            vec![
+                                format!("{:.1}", r.alpha),
+                                format!("{:.0e}", r.lambda_norm),
+                                format!("{:.4}", r.density),
+                            ]
+                        })
+                        .collect::<Vec<_>>(),
+                );
+                json_out.insert(
+                    "fig4".into(),
+                    serde_json::json!(rows
+                        .iter()
+                        .map(|r| serde_json::json!({
+                            "alpha": r.alpha,
+                            "lambda_norm": r.lambda_norm,
+                            "density": r.density,
+                        }))
+                        .collect::<Vec<_>>()),
+                );
+            }
+            "fig5" => {
+                let profiles = fig5::run(args.scale, args.seed);
+                for p in &profiles {
+                    let degrees: Vec<String> =
+                        p.degrees.iter().map(|d| d.to_string()).collect();
+                    let mut rows = Vec::new();
+                    for (l, (&m, &pr)) in p
+                        .measured_bytes
+                        .iter()
+                        .zip(&p.predicted_bytes)
+                        .enumerate()
+                    {
+                        rows.push(vec![
+                            format!("layer {}", l + 1),
+                            mb(m as f64 * args.scale as f64),
+                            mb(pr * args.scale as f64),
+                        ]);
+                    }
+                    rows.push(vec![
+                        "reduced (bottom)".into(),
+                        mb(p.bottom_bytes as f64 * args.scale as f64),
+                        mb(p.predicted_bottom * args.scale as f64),
+                    ]);
+                    print_table(
+                        &format!(
+                            "Fig. 5 — per-layer volume, {} on {} (full-scale MB)",
+                            p.dataset,
+                            degrees.join("x")
+                        ),
+                        &["layer", "measured MB", "predicted MB"],
+                        &rows,
+                    );
+                }
+                json_out.insert(
+                    "fig5".into(),
+                    serde_json::json!(profiles
+                        .iter()
+                        .map(|p| serde_json::json!({
+                            "dataset": p.dataset,
+                            "degrees": p.degrees,
+                            "measured_bytes": p.measured_bytes,
+                            "bottom_bytes": p.bottom_bytes,
+                        }))
+                        .collect::<Vec<_>>()),
+                );
+            }
+            "fig6" => {
+                let rows = fig6::run(args.scale, args.seed);
+                print_table(
+                    "Fig. 6 — config/reduce time per topology (full-scale seconds)",
+                    &["dataset", "topology", "config s", "reduce s"],
+                    &rows
+                        .iter()
+                        .map(|r| {
+                            vec![
+                                r.dataset.clone(),
+                                r.topology.clone(),
+                                format!("{:.3}", r.config_time),
+                                format!("{:.3}", r.reduce_time),
+                            ]
+                        })
+                        .collect::<Vec<_>>(),
+                );
+                json_out.insert(
+                    "fig6".into(),
+                    serde_json::json!(rows
+                        .iter()
+                        .map(|r| serde_json::json!({
+                            "dataset": r.dataset,
+                            "topology": r.topology,
+                            "config_time": r.config_time,
+                            "reduce_time": r.reduce_time,
+                        }))
+                        .collect::<Vec<_>>()),
+                );
+            }
+            "fig7" => {
+                let rows = fig7::run(args.scale, args.seed);
+                print_table(
+                    "Fig. 7 — allreduce runtime vs thread count (8x4x2, full-scale s)",
+                    &["threads", "runtime s"],
+                    &rows
+                        .iter()
+                        .map(|r| vec![r.threads.to_string(), format!("{:.3}", r.runtime)])
+                        .collect::<Vec<_>>(),
+                );
+                json_out.insert(
+                    "fig7".into(),
+                    serde_json::json!(rows
+                        .iter()
+                        .map(|r| serde_json::json!({
+                            "threads": r.threads,
+                            "runtime": r.runtime,
+                        }))
+                        .collect::<Vec<_>>()),
+                );
+            }
+            "table1" => {
+                let rows = table1::run(args.scale, args.seed);
+                print_table(
+                    "Table I — cost of fault tolerance (full-scale seconds)",
+                    &["system", "dead", "config s", "reduce s"],
+                    &rows
+                        .iter()
+                        .map(|r| {
+                            vec![
+                                r.system.clone(),
+                                r.dead_nodes.to_string(),
+                                format!("{:.3}", r.config_time),
+                                format!("{:.3}", r.reduce_time),
+                            ]
+                        })
+                        .collect::<Vec<_>>(),
+                );
+                json_out.insert(
+                    "table1".into(),
+                    serde_json::json!(rows
+                        .iter()
+                        .map(|r| serde_json::json!({
+                            "system": r.system,
+                            "dead_nodes": r.dead_nodes,
+                            "config_time": r.config_time,
+                            "reduce_time": r.reduce_time,
+                        }))
+                        .collect::<Vec<_>>()),
+                );
+            }
+            "fig8" => {
+                let rows = fig8::run(args.scale, args.seed);
+                print_table(
+                    "Fig. 8 — PageRank runtime per iteration (full-scale seconds, log-scale in paper)",
+                    &["dataset", "system", "s/iteration"],
+                    &rows
+                        .iter()
+                        .map(|r| {
+                            vec![
+                                r.dataset.clone(),
+                                r.system.clone(),
+                                format!("{:.3}", r.seconds_per_iter),
+                            ]
+                        })
+                        .collect::<Vec<_>>(),
+                );
+                json_out.insert(
+                    "fig8".into(),
+                    serde_json::json!(rows
+                        .iter()
+                        .map(|r| serde_json::json!({
+                            "dataset": r.dataset,
+                            "system": r.system,
+                            "seconds_per_iter": r.seconds_per_iter,
+                        }))
+                        .collect::<Vec<_>>()),
+                );
+            }
+            "fig9" => {
+                let rows = fig9::run(args.scale, args.seed);
+                print_table(
+                    "Fig. 9 — compute/comm breakdown and speedup vs cluster size",
+                    &["dataset", "m", "degrees", "compute s", "comm s", "speedup"],
+                    &rows
+                        .iter()
+                        .map(|r| {
+                            let degrees: Vec<String> =
+                                r.degrees.iter().map(|d| d.to_string()).collect();
+                            vec![
+                                r.dataset.clone(),
+                                r.m.to_string(),
+                                degrees.join("x"),
+                                format!("{:.3}", r.compute_time),
+                                format!("{:.3}", r.comm_time),
+                                format!("{:.2}x", r.speedup),
+                            ]
+                        })
+                        .collect::<Vec<_>>(),
+                );
+                json_out.insert(
+                    "fig9".into(),
+                    serde_json::json!(rows
+                        .iter()
+                        .map(|r| serde_json::json!({
+                            "dataset": r.dataset,
+                            "m": r.m,
+                            "degrees": r.degrees,
+                            "compute_time": r.compute_time,
+                            "comm_time": r.comm_time,
+                            "speedup": r.speedup,
+                        }))
+                        .collect::<Vec<_>>()),
+                );
+            }
+            "ablations" => {
+                let rows = ablation::run(args.scale, args.seed);
+                print_table(
+                    "Ablations — design-choice studies",
+                    &["study", "variant", "value", "unit"],
+                    &rows
+                        .iter()
+                        .map(|r| {
+                            vec![
+                                r.study.to_string(),
+                                r.variant.clone(),
+                                format!("{:.4}", r.value),
+                                r.unit.to_string(),
+                            ]
+                        })
+                        .collect::<Vec<_>>(),
+                );
+                json_out.insert(
+                    "ablations".into(),
+                    serde_json::json!(rows
+                        .iter()
+                        .map(|r| serde_json::json!({
+                            "study": r.study,
+                            "variant": r.variant,
+                            "value": r.value,
+                            "unit": r.unit,
+                        }))
+                        .collect::<Vec<_>>()),
+                );
+            }
+            other => {
+                eprintln!("unknown experiment: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = &args.json {
+        let payload = serde_json::json!({
+            "scale": args.scale,
+            "seed": args.seed,
+            "experiments": json_out,
+        });
+        std::fs::write(path, serde_json::to_string_pretty(&payload).expect("json"))
+            .expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,96 @@
+//! Fig. 4 — vector density vs normalised scaling factor λ.
+//!
+//! The design-workflow chart: density `f(λ)` for power-law exponents
+//! α ∈ {0.5, 1, 2}, with λ normalised by `λ_0.9` (where density reaches
+//! 0.9). The paper's observation: the normalised curves nearly
+//! coincide across α, so one chart drives the workflow for any real
+//! dataset.
+
+use kylix_powerlaw::DensityModel;
+
+/// One sampled curve point.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig4Row {
+    /// Power-law exponent.
+    pub alpha: f64,
+    /// λ / λ_0.9 (normalised scaling factor).
+    pub lambda_norm: f64,
+    /// Density f(λ).
+    pub density: f64,
+}
+
+/// Exponents the paper plots.
+pub const ALPHAS: [f64; 3] = [0.5, 1.0, 2.0];
+
+/// Sample the normalised density curves.
+pub fn run(n_features: u64) -> Vec<Fig4Row> {
+    let mut rows = Vec::new();
+    for &alpha in &ALPHAS {
+        let model = DensityModel::new(n_features, alpha);
+        let l09 = model.lambda_090();
+        // Log sweep of normalised lambda over four decades.
+        for e in -30..=4 {
+            let lambda_norm = 10f64.powf(e as f64 / 10.0);
+            rows.push(Fig4Row {
+                alpha,
+                lambda_norm,
+                density: model.density(lambda_norm * l09),
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_are_monotone_and_hit_09_at_1() {
+        let rows = run(1 << 16);
+        for &alpha in &ALPHAS {
+            let curve: Vec<&Fig4Row> = rows.iter().filter(|r| r.alpha == alpha).collect();
+            for w in curve.windows(2) {
+                assert!(w[1].density >= w[0].density, "alpha {alpha}");
+            }
+            let at1 = curve
+                .iter()
+                .min_by(|a, b| {
+                    (a.lambda_norm - 1.0)
+                        .abs()
+                        .partial_cmp(&(b.lambda_norm - 1.0).abs())
+                        .unwrap()
+                })
+                .unwrap();
+            assert!((at1.density - 0.9).abs() < 0.03, "alpha {alpha}: {}", at1.density);
+        }
+    }
+
+    #[test]
+    fn alpha_dependence_is_modest() {
+        // Paper: "the shape of the curve has only a modest dependence
+        // on α".
+        let rows = run(1 << 16);
+        for e in [-10i32, -5, 0] {
+            let norm = 10f64.powf(e as f64 / 10.0);
+            let ds: Vec<f64> = ALPHAS
+                .iter()
+                .map(|&alpha| {
+                    rows.iter()
+                        .filter(|r| r.alpha == alpha)
+                        .min_by(|a, b| {
+                            (a.lambda_norm - norm)
+                                .abs()
+                                .partial_cmp(&(b.lambda_norm - norm).abs())
+                                .unwrap()
+                        })
+                        .unwrap()
+                        .density
+                })
+                .collect();
+            let spread = ds.iter().cloned().fold(f64::MIN, f64::max)
+                - ds.iter().cloned().fold(f64::MAX, f64::min);
+            assert!(spread < 0.35, "norm {norm}: spread {spread} ({ds:?})");
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Fig. 5 — total communication volume per layer: the "Kylix" shape.
+//!
+//! For the Twitter-like workload on the paper's 8×4×2 network and the
+//! Yahoo-like workload on 16×4, measure the volume each layer of the
+//! scatter-reduce moves (including packets to self, as the paper
+//! counts), plus the fully reduced bottom volume. Dense (Twitter-like)
+//! data collapses fast down the layers; sparse (Yahoo-like) data
+//! shrinks more slowly — the two silhouettes of the paper's Fig. 5.
+//!
+//! Measured volumes come from the configured routing state of a real
+//! run; predicted volumes from the Prop. 4.1 model. The test pins them
+//! to each other.
+
+use crate::workload::VectorWorkload;
+use kylix::{Kylix, NetworkPlan};
+use kylix_net::LocalCluster;
+
+/// Volume profile for one dataset/network pair.
+#[derive(Debug, Clone)]
+pub struct Fig5Profile {
+    /// Workload name.
+    pub dataset: String,
+    /// Layer degrees used.
+    pub degrees: Vec<usize>,
+    /// Measured total volume per communication layer, bytes (full-scale
+    /// equivalent: multiply by the workload scale to compare with the
+    /// paper's axes).
+    pub measured_bytes: Vec<u64>,
+    /// The reduced bottom-layer volume (the paper's extra last bar).
+    pub bottom_bytes: u64,
+    /// Model-predicted volume per layer, bytes.
+    pub predicted_bytes: Vec<f64>,
+    /// Model-predicted bottom volume.
+    pub predicted_bottom: f64,
+}
+
+/// Measure one dataset's per-layer volumes on its paper topology.
+pub fn profile(workload: &VectorWorkload, degrees: &[usize]) -> Fig5Profile {
+    let m = workload.node_indices.len();
+    let plan = NetworkPlan::new(degrees);
+    assert_eq!(plan.size(), m);
+    let per_node: Vec<(Vec<usize>, usize)> = LocalCluster::run(m, |mut comm| {
+        let me = kylix_net::Comm::rank(&comm);
+        let kylix = Kylix::new(plan.clone());
+        let state = kylix
+            .configure(
+                &mut comm,
+                &workload.node_indices[me],
+                &workload.node_indices[me],
+                0,
+            )
+            .unwrap();
+        (state.down_volume_elems(), state.bottom_elems())
+    });
+
+    let elem_bytes = 8u64;
+    let layers = plan.layers();
+    let mut measured = vec![0u64; layers];
+    let mut bottom = 0u64;
+    for (vols, be) in &per_node {
+        for (l, v) in vols.iter().enumerate() {
+            measured[l] += *v as u64 * elem_bytes;
+        }
+        bottom += *be as u64 * elem_bytes;
+    }
+
+    let preds = workload
+        .model
+        .layer_predictions(workload.lambda0, plan.degrees());
+    let predicted: Vec<f64> = preds[..layers]
+        .iter()
+        .map(|p| p.elems_per_node * m as f64 * elem_bytes as f64)
+        .collect();
+    let predicted_bottom =
+        preds[layers].elems_per_node * m as f64 * elem_bytes as f64;
+
+    Fig5Profile {
+        dataset: workload.name.clone(),
+        degrees: degrees.to_vec(),
+        measured_bytes: measured,
+        bottom_bytes: bottom,
+        predicted_bytes: predicted,
+        predicted_bottom,
+    }
+}
+
+/// Run both paper datasets at the given scale divisor.
+pub fn run(scale: u64, seed: u64) -> Vec<Fig5Profile> {
+    let twitter = VectorWorkload::twitter_like(64, scale, seed);
+    let yahoo = VectorWorkload::yahoo_like(64, scale, seed + 1);
+    vec![
+        profile(&twitter, &[8, 4, 2]),
+        profile(&yahoo, &[16, 4]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kylix_shape_volume_decreases_down_layers() {
+        for p in run(4000, 3) {
+            let mut seq: Vec<f64> = p.measured_bytes.iter().map(|&b| b as f64).collect();
+            seq.push(p.bottom_bytes as f64);
+            for w in seq.windows(2) {
+                assert!(
+                    w[1] < w[0],
+                    "{}: volumes must shrink down the network: {seq:?}",
+                    p.dataset
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn measured_matches_prop41_prediction() {
+        for p in run(4000, 7) {
+            for (l, (&m, &pr)) in p
+                .measured_bytes
+                .iter()
+                .zip(&p.predicted_bytes)
+                .enumerate()
+            {
+                let rel = (m as f64 - pr).abs() / pr;
+                assert!(
+                    rel < 0.15,
+                    "{} layer {l}: measured {m} vs predicted {pr} (rel {rel:.3})",
+                    p.dataset
+                );
+            }
+            let relb = (p.bottom_bytes as f64 - p.predicted_bottom).abs() / p.predicted_bottom;
+            assert!(relb < 0.15, "{} bottom: rel {relb:.3}", p.dataset);
+        }
+    }
+
+    #[test]
+    fn twitter_collapses_faster_than_yahoo() {
+        // Paper: "The Twitter graph shrinks very fast at lower layers …
+        // for the Yahoo graph the volume shrinking is less significant."
+        let profiles = run(4000, 11);
+        let shrink = |p: &Fig5Profile| -> f64 {
+            p.bottom_bytes as f64 / p.measured_bytes[0] as f64
+        };
+        let twitter = shrink(&profiles[0]);
+        let yahoo = shrink(&profiles[1]);
+        assert!(
+            twitter < yahoo,
+            "twitter bottom/top {twitter:.3} should shrink below yahoo {yahoo:.3}"
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Fig. 7 — effect of multi-threading on allreduce runtime.
+//!
+//! The paper (§VI.B, Fig. 7) spawns a thread per message and observes
+//! big gains from 1 → 4 threads and marginal benefit beyond 16 (the
+//! cc2.8xlarge has 16 hardware threads). In the simulator, receive-side
+//! processing (deserialise + merge) occupies a per-node worker pool;
+//! sweeping the pool size reproduces the curve: processing serialises
+//! behind one worker and overlaps across many.
+
+use crate::workload::VectorWorkload;
+use kylix::NetworkPlan;
+
+/// One point of the thread sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig7Row {
+    /// Worker (thread) count per node.
+    pub threads: usize,
+    /// Allreduce (config + reduce) runtime, full-scale seconds.
+    pub runtime: f64,
+}
+
+/// Thread levels the paper sweeps.
+pub const THREAD_LEVELS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Run the sweep on the Twitter-like workload over 8×4×2.
+pub fn run(scale: u64, seed: u64) -> Vec<Fig7Row> {
+    let plan = NetworkPlan::new(&[8, 4, 2]);
+    THREAD_LEVELS
+        .iter()
+        .map(|&threads| {
+            // Regenerate the workload per level with the same seed so
+            // only the worker count varies.
+            let mut w = VectorWorkload::twitter_like(64, scale, seed);
+            w.name = format!("twitter-like-t{threads}");
+            let (config, reduce) = time_topology_with_workers(&w, &plan, seed, threads);
+            Fig7Row {
+                threads,
+                runtime: config + reduce,
+            }
+        })
+        .collect()
+}
+
+/// `fig6::time_topology` with an overridden worker count.
+fn time_topology_with_workers(
+    workload: &VectorWorkload,
+    plan: &NetworkPlan,
+    seed: u64,
+    workers: usize,
+) -> (f64, f64) {
+    use crate::scaling::scaled_nic;
+    use kylix::Kylix;
+    use kylix_net::Comm;
+    use kylix_netsim::SimCluster;
+    use kylix_sparse::SumReducer;
+
+    let m = workload.node_indices.len();
+    let nic = scaled_nic(workload.scale as f64).with_workers(workers);
+    let cluster = SimCluster::new(m, nic).seed(seed);
+    let per_node: Vec<(f64, f64)> = cluster.run_all(|mut comm| {
+        let me = comm.rank();
+        let idx = &workload.node_indices[me];
+        let kylix = Kylix::new(plan.clone());
+        let mut state = kylix.configure(&mut comm, idx, idx, 0).unwrap();
+        let t_cfg = comm.now();
+        let vals = vec![1.0f64; idx.len()];
+        state.reduce(&mut comm, &vals, SumReducer).unwrap();
+        (t_cfg, comm.now())
+    });
+    let config_end = per_node.iter().map(|p| p.0).fold(0.0, f64::max);
+    let reduce_end = per_node.iter().map(|p| p.1).fold(0.0, f64::max);
+    let s = workload.scale as f64;
+    (config_end * s, (reduce_end - config_end) * s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_threads_help_then_flatten() {
+        let rows = run(4000, 3);
+        // Monotone non-increasing runtime (a worker can only help).
+        for w in rows.windows(2) {
+            assert!(
+                w[1].runtime <= w[0].runtime * 1.02,
+                "threads {} -> {}: {} -> {}",
+                w[0].threads,
+                w[1].threads,
+                w[0].runtime,
+                w[1].runtime
+            );
+        }
+        // Paper shape: 1 -> 4 threads is a significant gain…
+        let t1 = rows[0].runtime;
+        let t4 = rows[2].runtime;
+        assert!(t4 < t1 * 0.85, "1→4 threads: {t1} -> {t4}");
+        // …and beyond 16 the benefit is marginal.
+        let t16 = rows[4].runtime;
+        let t32 = rows[5].runtime;
+        assert!(
+            t32 > t16 * 0.97,
+            "16→32 threads should be marginal: {t16} -> {t32}"
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Fig. 9 — compute/communication breakdown and speedup vs cluster
+//! size.
+//!
+//! PageRank per-iteration time, broken into local compute and
+//! communication, for cluster sizes 4 → 64 on both graphs, with
+//! butterfly degrees re-optimised per size by the §IV workflow (the
+//! paper: "the butterfly degrees are optimally tuned individually for
+//! different cluster sizes"). Speedup is measured against the 4-node
+//! run, as in the paper; they report 7–11× at 64 nodes, with
+//! communication dominating past 32 nodes.
+
+use crate::scaling::{scaled_min_packet, scaled_nic};
+use kylix::{optimal_degrees, DesignInput, Kylix};
+use kylix_apps::{distributed_pagerank, PageRankConfig};
+use kylix_net::Comm;
+use kylix_netsim::SimCluster;
+use kylix_powerlaw::DatasetSpec;
+
+/// One point of the scaling study.
+#[derive(Debug, Clone)]
+pub struct Fig9Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// Cluster size.
+    pub m: usize,
+    /// Degrees picked by the design workflow.
+    pub degrees: Vec<usize>,
+    /// Per-iteration compute makespan, full-scale seconds.
+    pub compute_time: f64,
+    /// Per-iteration communication makespan, full-scale seconds.
+    pub comm_time: f64,
+    /// Speedup over the 4-node run.
+    pub speedup: f64,
+}
+
+/// Cluster sizes the paper sweeps.
+pub const SIZES: [usize; 5] = [4, 8, 16, 32, 64];
+
+/// Regenerate the scaling study for one dataset.
+pub fn run_dataset(spec: &DatasetSpec, scale: u64, seed: u64, iters: usize) -> Vec<Fig9Row> {
+    let graph = spec.generate(seed);
+    let nic = scaled_nic(scale as f64);
+    let model = spec.density_model();
+    let mut rows: Vec<Fig9Row> = Vec::new();
+    for &m in &SIZES {
+        let plan = optimal_degrees(&DesignInput {
+            m,
+            model,
+            lambda0: spec.lambda0(m),
+            elem_bytes: 8,
+            min_packet_bytes: scaled_min_packet(scale as f64),
+        });
+        let parts = graph.partition_random(m, seed + 1);
+        let cluster = SimCluster::new(m, nic).seed(seed + m as u64);
+        let cfg = PageRankConfig {
+            damping: 0.85,
+            iterations: iters,
+            compute_per_edge: 4.0e-9,
+        };
+        let outcomes: Vec<(f64, f64, f64)> = cluster.run_all(|mut comm| {
+            let me = comm.rank();
+            let kylix = Kylix::new(plan.clone());
+            let out =
+                distributed_pagerank(&mut comm, &kylix, spec.n_vertices, &parts[me].edges, &cfg)
+                    .unwrap();
+            (out.compute_time, out.comm_time, comm.now() - out.config_time)
+        });
+        let compute =
+            outcomes.iter().map(|o| o.0).fold(0.0, f64::max) / iters as f64 * scale as f64;
+        let comm_t =
+            outcomes.iter().map(|o| o.1).fold(0.0, f64::max) / iters as f64 * scale as f64;
+        let total = compute + comm_t;
+        let speedup = rows
+            .first()
+            .map(|r4: &Fig9Row| (r4.compute_time + r4.comm_time) / total.max(1e-12))
+            .unwrap_or(1.0);
+        rows.push(Fig9Row {
+            dataset: spec.name.into(),
+            m,
+            degrees: plan.degrees().to_vec(),
+            compute_time: compute,
+            comm_time: comm_t,
+            speedup,
+        });
+    }
+    rows
+}
+
+/// Both datasets.
+pub fn run(scale: u64, seed: u64) -> Vec<Fig9Row> {
+    let mut rows = run_dataset(&DatasetSpec::twitter_like(scale), scale, seed, 2);
+    rows.extend(run_dataset(&DatasetSpec::yahoo_like(scale), scale, seed + 9, 2));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_shows_speedup_and_comm_domination() {
+        let rows = run_dataset(&DatasetSpec::twitter_like(4000), 4000, 3, 2);
+        assert_eq!(rows.len(), SIZES.len());
+        // Speedup grows with m (not necessarily linearly).
+        let s64 = rows.last().unwrap().speedup;
+        assert!(s64 > 2.0, "64-node speedup only {s64:.2}");
+        // Compute share falls as the cluster grows.
+        let share = |r: &Fig9Row| r.compute_time / (r.compute_time + r.comm_time);
+        assert!(
+            share(rows.last().unwrap()) < share(&rows[0]),
+            "compute share should fall with m"
+        );
+        // Degrees multiply to m.
+        for r in &rows {
+            let prod: usize = r.degrees.iter().product();
+            assert_eq!(prod, r.m);
+        }
+    }
+}

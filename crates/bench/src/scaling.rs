@@ -1,0 +1,76 @@
+//! Scale-preserving calibration of the NIC model.
+//!
+//! The simulator's EC2 preset is calibrated at full scale (paper
+//! constants). When a dataset is scaled down by `s`, per-node data
+//! volume shrinks by `s`; to keep every *ratio* the paper's results
+//! depend on — packet size relative to the minimum efficient packet,
+//! overhead share relative to wire time, latency share, CPU share —
+//! all the NIC's **time** constants are divided by the same `s` while
+//! bandwidth (a rate, not a time) is untouched. Multiplying any
+//! resulting virtual time by `s` recovers the full-scale estimate.
+
+use kylix_netsim::NicModel;
+
+/// The paper's EC2 NIC as seen by a collective (see
+/// `NicModel::ec2_10g_collective`), with its time constants divided by
+/// `scale`.
+pub fn scaled_nic(scale: f64) -> NicModel {
+    assert!(scale >= 1.0);
+    let full = NicModel::ec2_10g_collective();
+    NicModel {
+        overhead: full.overhead / scale,
+        bandwidth: full.bandwidth,
+        latency: full.latency / scale,
+        jitter_sigma: full.jitter_sigma, // multiplicative: scale-free
+        cpu_per_msg: full.cpu_per_msg / scale,
+        cpu_per_byte: full.cpu_per_byte, // per byte: already scale-free
+        workers: full.workers,
+    }
+}
+
+/// The minimum efficient packet size (80 % of peak) at this scale —
+/// the §IV design-workflow input. Uses the *microbenchmark* NIC curve
+/// (Fig. 2), exactly as the paper's workflow reads its threshold off
+/// the measured chart.
+pub fn scaled_min_packet(scale: f64) -> f64 {
+    let full = NicModel::ec2_10g();
+    full.min_efficient_packet(0.8) / scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilisation_ratio_is_preserved() {
+        // A packet scaled down by s on the scaled NIC has the same
+        // utilisation as the full packet on the full NIC.
+        let full = NicModel::ec2_10g_collective();
+        let s = 1000.0;
+        let scaled = scaled_nic(s);
+        for bytes in [400_000usize, 5_000_000, 50_000_000] {
+            let u_full = full.utilisation(bytes);
+            let u_scaled = scaled.utilisation((bytes as f64 / s) as usize);
+            assert!(
+                (u_full - u_scaled).abs() < 0.01,
+                "{bytes}: {u_full} vs {u_scaled}"
+            );
+        }
+    }
+
+    #[test]
+    fn min_packet_scales_linearly() {
+        let p1 = scaled_min_packet(1.0);
+        let p1000 = scaled_min_packet(1000.0);
+        assert!((p1 / p1000 - 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn times_scale_linearly() {
+        let full = NicModel::ec2_10g_collective();
+        let scaled = scaled_nic(100.0);
+        let t_full = full.xfer_time(1_000_000);
+        let t_scaled = scaled.xfer_time(10_000);
+        assert!((t_full / t_scaled - 100.0).abs() < 0.1);
+    }
+}

@@ -1,0 +1,201 @@
+//! Wire encoding of protocol messages.
+//!
+//! Kylix messages are flat little-endian buffers — no serialisation
+//! framework, mirroring the paper's "raw sockets, no reflection"
+//! implementation stance (§VI.C, and its criticism of Hadoop's
+//! serialisation overhead in §VIII). Three payload shapes exist:
+//!
+//! * **index lists** (configuration): `u64 count` then `count` raw `u64`
+//!   feature indices in key order. Hashes are *not* shipped — the
+//!   receiver recomputes `mix64(idx)` locally, trading a few ALU ops for
+//!   halving config bandwidth.
+//! * **value vectors** (reduction): `u64 count` then `count` fixed-width
+//!   scalars, positionally aligned with an index list both sides already
+//!   agree on.
+//! * **combined records** (minibatch mode, §III: "configuration and
+//!   reduction concurrently with combined network messages"): an index
+//!   list, its values, and the in-request index list, concatenated.
+
+use crate::error::{KylixError, Result};
+use bytes::Bytes;
+use kylix_sparse::{Key, Scalar};
+
+/// Encode a key slice as a raw index list.
+pub fn encode_keys(keys: &[Key]) -> Bytes {
+    let mut buf = Vec::with_capacity(8 + keys.len() * 8);
+    buf.extend_from_slice(&(keys.len() as u64).to_le_bytes());
+    for k in keys {
+        buf.extend_from_slice(&k.index.to_le_bytes());
+    }
+    Bytes::from(buf)
+}
+
+/// Append an index list to an existing buffer (combined messages).
+pub fn put_keys(buf: &mut Vec<u8>, keys: &[Key]) {
+    buf.extend_from_slice(&(keys.len() as u64).to_le_bytes());
+    for k in keys {
+        buf.extend_from_slice(&k.index.to_le_bytes());
+    }
+}
+
+/// Append a value vector.
+pub fn put_values<V: Scalar>(buf: &mut Vec<u8>, vals: &[V]) {
+    buf.extend_from_slice(&(vals.len() as u64).to_le_bytes());
+    for v in vals {
+        v.write_le(buf);
+    }
+}
+
+/// A cursor over a received buffer.
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Start decoding a payload.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or(KylixError::Codec { what })?;
+        if end > self.buf.len() {
+            return Err(KylixError::Codec { what });
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn count(&mut self, what: &'static str) -> Result<usize> {
+        let raw = self.take(8, what)?;
+        let n = u64::from_le_bytes(raw.try_into().expect("8 bytes"));
+        // Sanity: a count can never exceed the remaining buffer even at
+        // one byte per element.
+        if n as usize > self.buf.len() {
+            return Err(KylixError::Codec { what });
+        }
+        Ok(n as usize)
+    }
+
+    /// Read an index list, rebuilding keys (hash recomputed locally).
+    pub fn keys(&mut self) -> Result<Vec<Key>> {
+        let n = self.count("key count")?;
+        let raw = self.take(n * 8, "key data")?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| Key::new(u64::from_le_bytes(c.try_into().expect("8 bytes"))))
+            .collect())
+    }
+
+    /// Read a value vector of scalars.
+    pub fn values<V: Scalar>(&mut self) -> Result<Vec<V>> {
+        let n = self.count("value count")?;
+        let raw = self.take(n * V::WIDTH, "value data")?;
+        Ok(raw.chunks_exact(V::WIDTH).map(V::read_le).collect())
+    }
+
+    /// All bytes consumed?
+    pub fn finished(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Decode a standalone index list.
+pub fn decode_keys(buf: &[u8]) -> Result<Vec<Key>> {
+    let mut d = Decoder::new(buf);
+    let keys = d.keys()?;
+    if !d.finished() {
+        return Err(KylixError::Codec {
+            what: "trailing bytes after key list",
+        });
+    }
+    Ok(keys)
+}
+
+/// Encode a standalone value vector.
+pub fn encode_values<V: Scalar>(vals: &[V]) -> Bytes {
+    let mut buf = Vec::with_capacity(8 + vals.len() * V::WIDTH);
+    put_values(&mut buf, vals);
+    Bytes::from(buf)
+}
+
+/// Decode a standalone value vector.
+pub fn decode_values<V: Scalar>(buf: &[u8]) -> Result<Vec<V>> {
+    let mut d = Decoder::new(buf);
+    let vals = d.values()?;
+    if !d.finished() {
+        return Err(KylixError::Codec {
+            what: "trailing bytes after value list",
+        });
+    }
+    Ok(vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kylix_sparse::IndexSet;
+
+    #[test]
+    fn keys_round_trip() {
+        let set = IndexSet::from_indices([42u64, 7, 1 << 40, 0]);
+        let enc = encode_keys(set.keys());
+        let dec = decode_keys(&enc).unwrap();
+        assert_eq!(dec, set.keys());
+    }
+
+    #[test]
+    fn empty_keys_round_trip() {
+        let enc = encode_keys(&[]);
+        assert_eq!(decode_keys(&enc).unwrap(), Vec::<Key>::new());
+    }
+
+    #[test]
+    fn values_round_trip() {
+        let vals = vec![1.5f64, -2.25, 1e300];
+        let enc = encode_values(&vals);
+        assert_eq!(decode_values::<f64>(&enc).unwrap(), vals);
+        let ints = vec![u32::MAX, 0, 7];
+        let enc = encode_values(&ints);
+        assert_eq!(decode_values::<u32>(&enc).unwrap(), ints);
+    }
+
+    #[test]
+    fn combined_sections_round_trip() {
+        let out = IndexSet::from_indices([1u64, 2, 3]);
+        let vals = vec![0.5f64, 1.5, 2.5];
+        let inn = IndexSet::from_indices([9u64, 10]);
+        let mut buf = Vec::new();
+        put_keys(&mut buf, out.keys());
+        put_values(&mut buf, &vals);
+        put_keys(&mut buf, inn.keys());
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.keys().unwrap(), out.keys());
+        assert_eq!(d.values::<f64>().unwrap(), vals);
+        assert_eq!(d.keys().unwrap(), inn.keys());
+        assert!(d.finished());
+    }
+
+    #[test]
+    fn truncated_buffer_errors() {
+        let enc = encode_keys(IndexSet::from_indices([1u64, 2, 3]).keys());
+        let cut = &enc[..enc.len() - 4];
+        assert!(decode_keys(cut).is_err());
+    }
+
+    #[test]
+    fn oversized_count_errors() {
+        let mut buf = u64::MAX.to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0u8; 16]);
+        assert!(decode_keys(&buf).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_errors() {
+        let mut buf = encode_keys(&[]).to_vec();
+        buf.push(0xFF);
+        assert!(decode_keys(&buf).is_err());
+    }
+}

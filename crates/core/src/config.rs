@@ -1,0 +1,333 @@
+//! The configuration pass (paper §III.A).
+//!
+//! Configuration runs **down** the nested butterfly only. At layer `i`
+//! every node partitions its current `in` and `out` index sets into `dᵢ`
+//! equal hash ranges, ships part `c` to the group member with coordinate
+//! `c`, and unions the `dᵢ` parts it receives (own part included) with a
+//! tree merge. The merge's position maps are retained:
+//!
+//! * `out_maps[c]` — the paper's map `f`: positions in the part sent by
+//!   coordinate `c` → positions in the out-union. The reduction down
+//!   pass scatter-adds value vectors through it in constant time per
+//!   element.
+//! * `in_maps[c]` — the paper's map `g`: positions in the in-part sent
+//!   by coordinate `c` → positions in the in-union. The up pass gathers
+//!   a neighbour's requested values through it.
+//!
+//! Because the partition is by *contiguous hash range* and group members
+//! share their previous range, a node's own split spans are contiguous
+//! slices of its sorted set — so the up pass can rebuild the previous
+//! layer's vector by writing the returned slices back into those spans,
+//! the "simply concatenates them" of §III.B.
+//!
+//! The same down pass optionally carries reduction values along with the
+//! out-index parts (*combined mode*, used by minibatch workloads where
+//! in/out sets change every operation — §III: "it is more efficient to
+//! do configuration and reduction concurrently with combined network
+//! messages"). `run_down_pass` therefore takes an optional value
+//! rider and is shared by `configure` and `allreduce_combined`.
+
+use crate::codec::{put_keys, put_values, Decoder};
+use crate::error::{comm_err, KylixError, Result};
+use crate::plan::NetworkPlan;
+use bytes::Bytes;
+use kylix_net::{Comm, Phase, Tag};
+use kylix_sparse::vec::scatter_combine;
+use kylix_sparse::{tree_merge, IndexSet, Key, Reducer, Scalar};
+use std::ops::Range;
+
+/// Routing state for one communication layer of one node.
+#[derive(Debug, Clone)]
+pub struct LayerRouting {
+    /// Ranks in this node's group, ordered by coordinate.
+    pub group: Vec<usize>,
+    /// This node's coordinate (= its position in `group`).
+    pub my_pos: usize,
+    /// Split spans of the node's previous-layer **out** set, per
+    /// coordinate (contiguous, in range order; they tile the set).
+    pub out_spans: Vec<Range<usize>>,
+    /// Union of the received out-parts — the node's out set below.
+    pub out_union: IndexSet,
+    /// Map `f`: per sender coordinate, part positions → union positions.
+    pub out_maps: Vec<Vec<u32>>,
+    /// Split spans of the previous-layer **in** set, per coordinate.
+    pub in_spans: Vec<Range<usize>>,
+    /// Union of the received in-parts — the node's in set below.
+    pub in_union: IndexSet,
+    /// Map `g`: per sender coordinate, part positions → union positions.
+    pub in_maps: Vec<Vec<u32>>,
+}
+
+impl LayerRouting {
+    /// Length of the previous layer's in set (what the up pass rebuilds).
+    pub fn in_prev_len(&self) -> usize {
+        self.in_spans.last().map_or(0, |s| s.end)
+    }
+}
+
+/// Fully configured routing state for one node: everything reduction
+/// needs, reusable across any number of reduce calls with the same
+/// in/out sets (e.g. every PageRank iteration).
+#[derive(Debug, Clone)]
+pub struct Configured {
+    /// The topology.
+    pub plan: NetworkPlan,
+    /// This node's rank.
+    pub rank: usize,
+    /// Channel id the instance was configured on (tag namespace).
+    pub channel: u32,
+    /// Number of reduce operations already issued on this state (used to
+    /// derive fresh tag sequence numbers).
+    pub ops_issued: u32,
+    /// The node's sorted top-layer in set.
+    pub in0: IndexSet,
+    /// The node's sorted top-layer out set.
+    pub out0: IndexSet,
+    /// Per-layer routing, top to bottom.
+    pub layers: Vec<LayerRouting>,
+    /// Positions of the bottom in-union's keys inside the bottom
+    /// out-union (where the fully reduced values live); [`MISSING`] for
+    /// requests nobody contributed to (served the reducer identity).
+    pub bottom_in_to_out: Vec<u32>,
+    /// User in-list position → sorted `in0` position.
+    pub in_user_map: Vec<u32>,
+    /// User out-list position → sorted `out0` position.
+    pub out_user_map: Vec<u32>,
+}
+
+/// Sentinel in `bottom_in_to_out` for a requested index no node
+/// contributed to; the reduction serves the reducer identity there.
+pub const MISSING: u32 = u32::MAX;
+
+/// Encoded size bookkeeping for self-"messages" (the paper's Fig. 5
+/// counts traffic *including packets to its own*).
+pub(crate) fn keys_wire_len(n: usize) -> usize {
+    8 + 8 * n
+}
+
+pub(crate) fn values_wire_len<V: Scalar>(n: usize) -> usize {
+    8 + V::WIDTH * n
+}
+
+/// Outcome of the shared down pass.
+pub(crate) struct DownResult<V> {
+    pub configured: Configured,
+    /// In combined mode, the node's fully reduced bottom values (aligned
+    /// with the bottom out-union).
+    pub bottom_values: Option<Vec<V>>,
+}
+
+/// Run the configuration down pass, optionally carrying reduction
+/// values (combined mode).
+///
+/// `user_out_values`, when provided, is aligned with `out_user_map` /
+/// the caller's original out list; the rider is reduced on the way down
+/// exactly like a standalone reduce pass would.
+pub(crate) fn run_down_pass<C, V, R>(
+    comm: &mut C,
+    plan: &NetworkPlan,
+    channel: u32,
+    in_indices: &[u64],
+    out_indices: &[u64],
+    user_out_values: Option<&[V]>,
+    reducer: R,
+) -> Result<DownResult<V>>
+where
+    C: Comm,
+    V: Scalar,
+    R: Reducer<V>,
+{
+    let rank = comm.rank();
+    assert_eq!(
+        comm.size(),
+        plan.size(),
+        "plan size {} != communicator size {}",
+        plan.size(),
+        comm.size()
+    );
+    let in0 = IndexSet::from_indices(in_indices.iter().copied());
+    let out0 = IndexSet::from_indices(out_indices.iter().copied());
+    let in_user_map: Vec<u32> = in_indices
+        .iter()
+        .map(|&i| in0.position(Key::new(i)).expect("own index present") as u32)
+        .collect();
+    let out_user_map: Vec<u32> = out_indices
+        .iter()
+        .map(|&i| out0.position(Key::new(i)).expect("own index present") as u32)
+        .collect();
+
+    // Combined-mode rider: fold the user's values into sorted layout.
+    let mut values: Option<Vec<V>> = match user_out_values {
+        None => None,
+        Some(uv) => {
+            if uv.len() != out_user_map.len() {
+                return Err(KylixError::Usage {
+                    what: "out_values length != out_indices length",
+                });
+            }
+            let mut v = vec![reducer.identity(); out0.len()];
+            for (x, &sp) in uv.iter().zip(&out_user_map) {
+                reducer.combine(&mut v[sp as usize], *x);
+            }
+            Some(v)
+        }
+    };
+
+    let phase = if values.is_some() {
+        Phase::Combined
+    } else {
+        Phase::Config
+    };
+
+    let mut cur_in = in0.clone();
+    let mut cur_out = out0.clone();
+    let mut layers = Vec::with_capacity(plan.layers());
+
+    for layer in 0..plan.layers() {
+        let d = plan.degrees()[layer];
+        let group = plan.group(rank, layer);
+        let my_pos = plan.coordinate(rank, layer);
+        let my_range = plan.range_at(rank, layer);
+        let sub_ranges = my_range.split(d);
+        debug_assert!(cur_out.all_within(&my_range), "out keys escaped range");
+        debug_assert!(cur_in.all_within(&my_range), "in keys escaped range");
+        let out_spans: Vec<Range<usize>> =
+            sub_ranges.iter().map(|r| cur_out.span_of(r)).collect();
+        let in_spans: Vec<Range<usize>> = sub_ranges.iter().map(|r| cur_in.span_of(r)).collect();
+        let tag = Tag::new(phase, layer as u16, channel);
+
+        // Fire all sends first (opportunistic communication, §VI.B).
+        for (c, &peer) in group.iter().enumerate() {
+            let out_part = &cur_out.keys()[out_spans[c].clone()];
+            let in_part = &cur_in.keys()[in_spans[c].clone()];
+            let mut wire = keys_wire_len(out_part.len()) + keys_wire_len(in_part.len());
+            if values.is_some() {
+                wire += values_wire_len::<V>(out_spans[c].len());
+            }
+            if c == my_pos {
+                // Self part never crosses the network; account it so the
+                // per-layer volume matches the paper's definition.
+                comm.note_traffic(layer as u16, wire);
+                continue;
+            }
+            let mut buf = Vec::with_capacity(wire);
+            put_keys(&mut buf, out_part);
+            if let Some(vals) = &values {
+                put_values(&mut buf, &vals[out_spans[c].clone()]);
+            }
+            put_keys(&mut buf, in_part);
+            comm.send(peer, tag, Bytes::from(buf));
+        }
+
+        // Collect every coordinate's parts (own part straight from the
+        // local slices).
+        let mut out_parts: Vec<Vec<Key>> = vec![Vec::new(); d];
+        let mut in_parts: Vec<Vec<Key>> = vec![Vec::new(); d];
+        let mut val_parts: Vec<Vec<V>> = vec![Vec::new(); d];
+        for (c, &peer) in group.iter().enumerate() {
+            if c == my_pos {
+                out_parts[c] = cur_out.keys()[out_spans[c].clone()].to_vec();
+                in_parts[c] = cur_in.keys()[in_spans[c].clone()].to_vec();
+                if let Some(vals) = &values {
+                    val_parts[c] = vals[out_spans[c].clone()].to_vec();
+                }
+                continue;
+            }
+            let payload = comm.recv(peer, tag).map_err(comm_err("config down"))?;
+            let mut dec = Decoder::new(&payload);
+            out_parts[c] = dec.keys()?;
+            if values.is_some() {
+                val_parts[c] = dec.values::<V>()?;
+                if val_parts[c].len() != out_parts[c].len() {
+                    return Err(KylixError::Codec {
+                        what: "combined values misaligned with keys",
+                    });
+                }
+            }
+            in_parts[c] = dec.keys()?;
+            if !dec.finished() {
+                return Err(KylixError::Codec {
+                    what: "trailing bytes in config message",
+                });
+            }
+        }
+
+        // Union with maps (tree merge, §VI.A).
+        let out_refs: Vec<&[Key]> = out_parts.iter().map(|p| p.as_slice()).collect();
+        let out_merged = tree_merge(&out_refs);
+        let in_refs: Vec<&[Key]> = in_parts.iter().map(|p| p.as_slice()).collect();
+        let in_merged = tree_merge(&in_refs);
+
+        // Combined mode: reduce the value parts into the new union layout.
+        if values.is_some() {
+            let mut acc = vec![reducer.identity(); out_merged.union.len()];
+            for (c, part) in val_parts.iter().enumerate() {
+                scatter_combine(&mut acc, part, &out_merged.maps[c], reducer);
+            }
+            values = Some(acc);
+        }
+
+        let out_union = IndexSet::from_sorted_keys(out_merged.union);
+        let in_union = IndexSet::from_sorted_keys(in_merged.union);
+        layers.push(LayerRouting {
+            group,
+            my_pos,
+            out_spans,
+            out_union: out_union.clone(),
+            out_maps: out_merged.maps,
+            in_spans,
+            in_union: in_union.clone(),
+            in_maps: in_merged.maps,
+        });
+        cur_out = out_union;
+        cur_in = in_union;
+    }
+
+    // Bottom: locate every requested (in) key inside the reduced (out)
+    // layout. A request nobody contributed to is marked MISSING and
+    // served the reducer identity — the sum over an empty set — so
+    // callers need not zero-pad their out sets for coverage (the paper
+    // states the `∪ in ⊆ ∪ out` contract; we weaken it to "uncovered
+    // requests read as identity", which subsumes it).
+    let bottom_in_to_out = cur_in
+        .keys()
+        .iter()
+        .map(|k| cur_out.position(*k).map_or(MISSING, |p| p as u32))
+        .collect();
+
+    Ok(DownResult {
+        configured: Configured {
+            plan: plan.clone(),
+            rank,
+            channel,
+            ops_issued: 0,
+            in0,
+            out0,
+            layers,
+            bottom_in_to_out,
+            in_user_map,
+            out_user_map,
+        },
+        bottom_values: values,
+    })
+}
+
+impl Configured {
+    /// Elements of fully reduced data this node holds at the bottom
+    /// (the last bar of the paper's Fig. 5).
+    pub fn bottom_elems(&self) -> usize {
+        self.layers
+            .last()
+            .map_or(self.out0.len(), |l| l.out_union.len())
+    }
+
+    /// Per-layer element counts this node *sends or keeps* during a
+    /// reduce down pass (self part included) — the measured volume
+    /// profile behind Fig. 5, in elements.
+    pub fn down_volume_elems(&self) -> Vec<usize> {
+        self.layers
+            .iter()
+            .map(|l| l.out_spans.iter().map(|s| s.len()).sum())
+            .collect()
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for allreduce operations.
+
+use kylix_net::CommError;
+
+/// Errors surfaced by configuration / reduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KylixError {
+    /// A communication failure (timeout on a dead, unreplicated peer;
+    /// cluster shutdown).
+    Comm {
+        /// Protocol stage in which the failure occurred.
+        during: &'static str,
+        /// The underlying communicator error.
+        source: CommError,
+    },
+    /// Malformed message payload.
+    Codec {
+        /// What failed to decode.
+        what: &'static str,
+    },
+    /// Caller-side misuse (mismatched lengths, values for unknown
+    /// indices, …).
+    Usage {
+        /// Description of the misuse.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for KylixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KylixError::Comm { during, source } => {
+                write!(f, "communication failed during {during}: {source}")
+            }
+            KylixError::Codec { what } => write!(f, "malformed message: {what}"),
+            KylixError::Usage { what } => write!(f, "API misuse: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for KylixError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, KylixError>;
+
+/// Attach protocol-stage context to a communicator error.
+pub fn comm_err(during: &'static str) -> impl FnOnce(CommError) -> KylixError {
+    move |source| KylixError::Comm { during, source }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kylix_net::{Phase, Tag};
+
+    #[test]
+    fn display_includes_context() {
+        let e = KylixError::Comm {
+            during: "config down pass",
+            source: CommError::Timeout {
+                from: 3,
+                tag: Tag::new(Phase::Config, 1, 0),
+            },
+        };
+        let s = e.to_string();
+        assert!(s.contains("config down pass"));
+        assert!(s.contains("rank 3"));
+    }
+}

@@ -1,0 +1,79 @@
+#![warn(missing_docs)]
+
+//! # kylix
+//!
+//! A from-scratch Rust implementation of **Kylix** — the sparse
+//! allreduce for commodity clusters of Zhao & Canny (ICPP 2014).
+//!
+//! A *sparse allreduce* lets every node of a cluster contribute values
+//! at a sparse set of indices of a huge logical vector and receive the
+//! reduced values at a (different) sparse set of indices — the
+//! communication primitive behind distributed PageRank, mini-batch SGD,
+//! label propagation, and friends on power-law ("natural graph") data.
+//!
+//! Kylix runs the reduction over a **nested, heterogeneous-degree
+//! butterfly**: layer `i` partitions each node's data into `dᵢ` hash
+//! ranges and exchanges them within groups of `dᵢ` nodes; values flow
+//! *down* the layers (scatter-reduce), collapse at shared indices, and
+//! flow back *up* along the same routes (allgather). Heterogeneous
+//! degrees let the packet size per layer stay above a commodity
+//! network's minimum efficient size; nesting makes the return routing
+//! free. On power-law data, per-layer volume *shrinks* going down —
+//! plotted, it looks like a kylix, hence the name.
+//!
+//! ## Crate map
+//!
+//! * [`plan`] — the butterfly topology ([`NetworkPlan`]): degrees,
+//!   groups, nested hash ranges. `NetworkPlan::direct(m)` and
+//!   `NetworkPlan::binary(m)` are the paper's two comparators.
+//! * [`allreduce`] — the public API ([`Kylix`]): configure-once /
+//!   reduce-many, and combined single-pass mode for minibatches.
+//! * [`config`] / [`reduce`] — the two protocol passes (§III).
+//! * [`replicate`] — fault tolerance by replication + packet racing
+//!   (§V): wrap any communicator in [`ReplicatedComm`] and run the
+//!   identical protocol.
+//! * [`design`] — the §IV workflow choosing optimal degrees from
+//!   power-law statistics, plus an analytic cost model.
+//! * [`codec`] — raw little-endian message framing.
+//! * <code>reference</code> — the sequential semantics used by the test suite.
+//!
+//! ## Example
+//!
+//! ```
+//! use kylix::{Kylix, NetworkPlan};
+//! use kylix_net::LocalCluster;
+//! use kylix_sparse::SumReducer;
+//!
+//! // 8 threads stand in for 8 cluster nodes. Everyone contributes 1.0
+//! // at index (rank mod 4) and asks for index 0.
+//! let results = LocalCluster::run(8, |mut comm| {
+//!     let kylix = Kylix::new(NetworkPlan::new(&[4, 2]));
+//!     let me = kylix_net::Comm::rank(&comm) as u64 % 4;
+//!     let (got, _) = kylix
+//!         .allreduce_combined(&mut comm, &[0u64], &[me], &[1.0f64], SumReducer, 0)
+//!         .unwrap();
+//!     got[0]
+//! });
+//! // Index 0 was contributed by ranks 0 and 4.
+//! assert!(results.iter().all(|&v| v == 2.0));
+//! ```
+
+pub mod allreduce;
+pub mod codec;
+pub mod config;
+pub mod design;
+pub mod error;
+pub mod plan;
+pub mod reduce;
+pub mod reference;
+pub mod replicate;
+pub mod scalar;
+
+pub use allreduce::Kylix;
+pub use config::{Configured, LayerRouting};
+pub use design::{optimal_degrees, predict_reduce_time, DesignInput};
+pub use error::{KylixError, Result};
+pub use plan::NetworkPlan;
+pub use reference::{reference_allreduce, NodeContribution};
+pub use replicate::ReplicatedComm;
+pub use scalar::ScalarCollective;

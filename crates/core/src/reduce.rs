@@ -1,0 +1,177 @@
+//! The reduction passes (paper §III.B).
+//!
+//! Reduction reuses the routing state built by configuration:
+//!
+//! * **Down pass** — at layer `i` a node sends each group neighbour the
+//!   contiguous slice of its value vector matching the neighbour's hash
+//!   sub-range (no gather needed: the partition spans *are* slices of
+//!   the sorted layout), then scatter-adds the `dᵢ` incoming slices into
+//!   the union layout through map `f`. After `l` layers every node holds
+//!   a fully reduced share of the global vector.
+//! * **Up pass** — starting from the reduced bottom values projected
+//!   onto the bottom in-union, each layer (bottom to top) gathers, via
+//!   map `g`, the values each neighbour requested during configuration
+//!   and sends them back; the receiver writes the returned slices into
+//!   its original partition spans, rebuilding the previous layer's
+//!   in-vector ("simply concatenates them").
+//!
+//! A [`crate::config::Configured`] can issue any number of reductions —
+//! the per-iteration path of PageRank-style workloads where the vertex
+//! sets are fixed and only values change.
+
+use crate::codec::{decode_values, encode_values};
+use crate::config::{values_wire_len, Configured};
+use crate::error::{comm_err, KylixError, Result};
+use kylix_net::{Comm, Phase, Tag};
+use kylix_sparse::vec::{gather, scatter_combine};
+use kylix_sparse::{Reducer, Scalar};
+
+impl Configured {
+    /// Run one sparse allreduce over previously configured index sets.
+    ///
+    /// `out_values` is aligned with the caller's original `out_indices`
+    /// order (duplicates are combined); the returned vector is aligned
+    /// with the original `in_indices` order.
+    pub fn reduce<C, V, R>(&mut self, comm: &mut C, out_values: &[V], reducer: R) -> Result<Vec<V>>
+    where
+        C: Comm,
+        V: Scalar,
+        R: Reducer<V>,
+    {
+        if out_values.len() != self.out_user_map.len() {
+            return Err(KylixError::Usage {
+                what: "out_values length != out_indices length",
+            });
+        }
+        // Fresh tag sequence for this operation: the channel id is the
+        // namespace, ops_issued the operation counter. Collisions with a
+        // concurrently configured instance require the caller to space
+        // channel ids (documented on `Kylix::configure`).
+        self.ops_issued += 1;
+        let seq = self.channel.wrapping_add(self.ops_issued);
+
+        // User order -> sorted layout, combining duplicate indices.
+        let mut vals = vec![reducer.identity(); self.out0.len()];
+        for (x, &sp) in out_values.iter().zip(&self.out_user_map) {
+            reducer.combine(&mut vals[sp as usize], *x);
+        }
+
+        let bottom = self.down_values(comm, vals, reducer, seq)?;
+        let uvals = self.project_bottom(&bottom, reducer);
+        let top = self.up_values(comm, uvals, seq)?;
+
+        // Sorted layout -> user order.
+        Ok(self
+            .in_user_map
+            .iter()
+            .map(|&p| top[p as usize])
+            .collect())
+    }
+
+    /// Project fully reduced bottom values onto the bottom in-union:
+    /// requested indices nobody contributed to read as the identity.
+    pub(crate) fn project_bottom<V, R>(&self, bottom: &[V], reducer: R) -> Vec<V>
+    where
+        V: Scalar,
+        R: Reducer<V>,
+    {
+        self.bottom_in_to_out
+            .iter()
+            .map(|&p| {
+                if p == crate::config::MISSING {
+                    reducer.identity()
+                } else {
+                    bottom[p as usize]
+                }
+            })
+            .collect()
+    }
+
+    /// Down pass: scatter-reduce `vals` (aligned with `out0`) to the
+    /// bottom layer; returns values aligned with the bottom out-union.
+    pub(crate) fn down_values<C, V, R>(
+        &self,
+        comm: &mut C,
+        mut vals: Vec<V>,
+        reducer: R,
+        seq: u32,
+    ) -> Result<Vec<V>>
+    where
+        C: Comm,
+        V: Scalar,
+        R: Reducer<V>,
+    {
+        for (layer, lr) in self.layers.iter().enumerate() {
+            let tag = Tag::new(Phase::ReduceDown, layer as u16, seq);
+            for (c, &peer) in lr.group.iter().enumerate() {
+                if c == lr.my_pos {
+                    comm.note_traffic(layer as u16, values_wire_len::<V>(lr.out_spans[c].len()));
+                    continue;
+                }
+                comm.send(peer, tag, encode_values(&vals[lr.out_spans[c].clone()]));
+            }
+            let mut acc = vec![reducer.identity(); lr.out_union.len()];
+            scatter_combine(
+                &mut acc,
+                &vals[lr.out_spans[lr.my_pos].clone()],
+                &lr.out_maps[lr.my_pos],
+                reducer,
+            );
+            for (c, &peer) in lr.group.iter().enumerate() {
+                if c == lr.my_pos {
+                    continue;
+                }
+                let payload = comm.recv(peer, tag).map_err(comm_err("reduce down"))?;
+                let part: Vec<V> = decode_values(&payload)?;
+                if part.len() != lr.out_maps[c].len() {
+                    return Err(KylixError::Codec {
+                        what: "down-pass values misaligned with configuration",
+                    });
+                }
+                scatter_combine(&mut acc, &part, &lr.out_maps[c], reducer);
+            }
+            vals = acc;
+        }
+        Ok(vals)
+    }
+
+    /// Up pass: carry `uvals` (aligned with the bottom in-union) back to
+    /// the top; returns values aligned with `in0`.
+    pub(crate) fn up_values<C, V>(&self, comm: &mut C, mut uvals: Vec<V>, seq: u32) -> Result<Vec<V>>
+    where
+        C: Comm,
+        V: Scalar,
+    {
+        for (layer, lr) in self.layers.iter().enumerate().rev() {
+            let tag = Tag::new(Phase::ReduceUp, layer as u16, seq);
+            for (c, &peer) in lr.group.iter().enumerate() {
+                if c == lr.my_pos {
+                    comm.note_traffic(layer as u16, values_wire_len::<V>(lr.in_maps[c].len()));
+                    continue;
+                }
+                comm.send(peer, tag, encode_values(&gather(&uvals, &lr.in_maps[c])));
+            }
+            // Every position is overwritten by a returned slice; the
+            // default is just an initialiser.
+            let mut prev = vec![V::default(); lr.in_prev_len()];
+            // Own requested part comes straight from local memory.
+            let own = gather(&uvals, &lr.in_maps[lr.my_pos]);
+            prev[lr.in_spans[lr.my_pos].clone()].copy_from_slice(&own);
+            for (c, &peer) in lr.group.iter().enumerate() {
+                if c == lr.my_pos {
+                    continue;
+                }
+                let payload = comm.recv(peer, tag).map_err(comm_err("reduce up"))?;
+                let part: Vec<V> = decode_values(&payload)?;
+                if part.len() != lr.in_spans[c].len() {
+                    return Err(KylixError::Codec {
+                        what: "up-pass values misaligned with configuration",
+                    });
+                }
+                prev[lr.in_spans[c].clone()].copy_from_slice(&part);
+            }
+            uvals = prev;
+        }
+        Ok(uvals)
+    }
+}

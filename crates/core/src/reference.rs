@@ -1,0 +1,107 @@
+//! Sequential reference semantics of a sparse allreduce.
+//!
+//! The specification every distributed implementation in this workspace
+//! is tested against: gather all nodes' `(out_indices, out_values)`
+//! contributions into one global map, reduce duplicates with the
+//! operator, then answer each node's `in_indices` from the global
+//! result. O(total nonzeros) with a hash map — fine for tests, not a
+//! production path.
+
+use kylix_sparse::Reducer;
+use std::collections::HashMap;
+
+/// One node's inputs to a sparse allreduce.
+#[derive(Debug, Clone)]
+pub struct NodeContribution<V> {
+    /// Indices the node wants back.
+    pub in_indices: Vec<u64>,
+    /// Indices the node contributes to.
+    pub out_indices: Vec<u64>,
+    /// Values aligned with `out_indices`.
+    pub out_values: Vec<V>,
+}
+
+/// Compute the expected per-node results of a sparse allreduce.
+///
+/// A requested index no node contributed to reads as the reducer
+/// identity (the reduction of an empty set) — matching the distributed
+/// implementation's semantics for uncovered requests.
+pub fn reference_allreduce<V: Copy, R: Reducer<V>>(
+    nodes: &[NodeContribution<V>],
+    reducer: R,
+) -> Vec<Vec<V>> {
+    let mut global: HashMap<u64, V> = HashMap::new();
+    for node in nodes {
+        assert_eq!(node.out_indices.len(), node.out_values.len());
+        for (&i, &v) in node.out_indices.iter().zip(&node.out_values) {
+            global
+                .entry(i)
+                .and_modify(|acc| reducer.combine(acc, v))
+                .or_insert(v);
+        }
+    }
+    nodes
+        .iter()
+        .map(|node| {
+            node.in_indices
+                .iter()
+                .map(|i| global.get(i).copied().unwrap_or_else(|| reducer.identity()))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kylix_sparse::{MinReducer, SumReducer};
+
+    #[test]
+    fn sums_across_nodes() {
+        let nodes = vec![
+            NodeContribution {
+                in_indices: vec![1, 2],
+                out_indices: vec![1, 2],
+                out_values: vec![1.0, 2.0],
+            },
+            NodeContribution {
+                in_indices: vec![2],
+                out_indices: vec![2, 3],
+                out_values: vec![10.0, 5.0],
+            },
+        ];
+        let r = reference_allreduce(&nodes, SumReducer);
+        assert_eq!(r[0], vec![1.0, 12.0]);
+        assert_eq!(r[1], vec![12.0]);
+    }
+
+    #[test]
+    fn min_reducer_takes_minimum() {
+        let nodes = vec![
+            NodeContribution {
+                in_indices: vec![7],
+                out_indices: vec![7],
+                out_values: vec![9u64],
+            },
+            NodeContribution {
+                in_indices: vec![7],
+                out_indices: vec![7],
+                out_values: vec![4u64],
+            },
+        ];
+        let r = reference_allreduce(&nodes, MinReducer);
+        assert_eq!(r[0], vec![4]);
+        assert_eq!(r[1], vec![4]);
+    }
+
+    #[test]
+    fn uncovered_in_index_reads_identity() {
+        let nodes = vec![NodeContribution {
+            in_indices: vec![99, 1],
+            out_indices: vec![1],
+            out_values: vec![1.5],
+        }];
+        let r = reference_allreduce(&nodes, SumReducer);
+        assert_eq!(r[0], vec![0.0, 1.5]);
+    }
+}

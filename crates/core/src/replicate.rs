@@ -1,0 +1,212 @@
+//! Replication-based fault tolerance (paper §V).
+//!
+//! The scheme: pick a replication factor `s`; physical node `p` plays
+//! *logical* node `p mod m` (with `m = physical/s` logical nodes), every
+//! replica holds the same data and runs the same protocol, every message
+//! to logical node `j` is fanned out to all of `j`'s replicas, and every
+//! receive becomes a **packet race** over the sender's replica set — the
+//! first copy wins, the rest are discarded (§V.B). The protocol
+//! completes unless *all* replicas of some node are dead; by the
+//! birthday argument the expected number of random failures a 2×
+//! replicated m-node network absorbs is ≈ √m.
+//!
+//! Implementation: [`ReplicatedComm`] wraps any physical communicator
+//! and presents the *logical* cluster through the same `Comm` trait —
+//! the entire Kylix stack (and the baselines, and the applications) run
+//! replicated without a single code change. Racing inherits the
+//! underlying communicator's `recv_any`: on the simulator the earliest
+//! virtual delivery wins (absorbing latency jitter exactly as the paper
+//! describes); on the thread cluster the first real arrival wins.
+
+use bytes::Bytes;
+use kylix_net::{Comm, CommError, Tag};
+use std::time::Duration;
+
+/// A logical view of a replicated physical cluster.
+pub struct ReplicatedComm<C: Comm> {
+    inner: C,
+    logical_size: usize,
+    replication: usize,
+}
+
+impl<C: Comm> ReplicatedComm<C> {
+    /// Wrap a physical communicator; the physical size must be an exact
+    /// multiple of `replication`.
+    pub fn new(inner: C, replication: usize) -> Self {
+        assert!(replication >= 1, "replication factor must be >= 1");
+        assert_eq!(
+            inner.size() % replication,
+            0,
+            "physical size {} not divisible by replication {replication}",
+            inner.size()
+        );
+        let logical_size = inner.size() / replication;
+        Self {
+            inner,
+            logical_size,
+            replication,
+        }
+    }
+
+    /// The replication factor `s`.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Which replica of its logical node this physical rank is (0-based).
+    pub fn replica_index(&self) -> usize {
+        self.inner.rank() / self.logical_size
+    }
+
+    /// Physical ranks hosting a logical node.
+    pub fn replicas_of(&self, logical: usize) -> Vec<usize> {
+        (0..self.replication)
+            .map(|r| logical + r * self.logical_size)
+            .collect()
+    }
+
+    /// Unwrap the physical communicator.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+
+    /// Borrow the physical communicator.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+}
+
+impl<C: Comm> Comm for ReplicatedComm<C> {
+    fn rank(&self) -> usize {
+        self.inner.rank() % self.logical_size
+    }
+
+    fn size(&self) -> usize {
+        self.logical_size
+    }
+
+    fn send(&mut self, to: usize, tag: Tag, payload: Bytes) {
+        debug_assert!(to < self.logical_size);
+        // Fan out to every replica; `Bytes` clones are refcounted, not
+        // copied.
+        for r in 0..self.replication {
+            self.inner
+                .send(to + r * self.logical_size, tag, payload.clone());
+        }
+    }
+
+    fn recv_timeout(
+        &mut self,
+        from: usize,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<Bytes, CommError> {
+        let replicas = self.replicas_of(from);
+        self.inner
+            .recv_any_timeout(&replicas, tag, timeout)
+            .map(|(_, payload)| payload)
+    }
+
+    fn recv_any_timeout(
+        &mut self,
+        sources: &[usize],
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<(usize, Bytes), CommError> {
+        let physical: Vec<usize> = sources
+            .iter()
+            .flat_map(|&s| self.replicas_of(s))
+            .collect();
+        self.inner
+            .recv_any_timeout(&physical, tag, timeout)
+            .map(|(src, payload)| (src % self.logical_size, payload))
+    }
+
+    fn now(&self) -> f64 {
+        self.inner.now()
+    }
+
+    fn charge_compute(&mut self, seconds: f64) {
+        self.inner.charge_compute(seconds);
+    }
+
+    fn note_traffic(&mut self, layer: u16, bytes: usize) {
+        self.inner.note_traffic(layer, bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kylix_net::{LocalCluster, Phase};
+
+    fn t(seq: u32) -> Tag {
+        Tag::new(Phase::App, 0, seq)
+    }
+
+    #[test]
+    fn logical_addressing() {
+        // 6 physical ranks, s=2 -> 3 logical nodes.
+        let out = LocalCluster::run(6, |comm| {
+            let rc = ReplicatedComm::new(comm, 2);
+            (rc.rank(), rc.size(), rc.replica_index())
+        });
+        assert_eq!(out[0], (0, 3, 0));
+        assert_eq!(out[4], (1, 3, 1));
+        assert_eq!(out[5], (2, 3, 1));
+    }
+
+    #[test]
+    fn replicated_ping_reaches_all_replicas() {
+        let out = LocalCluster::run(4, |comm| {
+            let mut rc = ReplicatedComm::new(comm, 2);
+            match rc.inner().rank() {
+                0 => {
+                    rc.send(1, t(0), Bytes::from_static(b"hi"));
+                    None
+                }
+                1 | 3 => Some(rc.recv(0, t(0)).unwrap().to_vec()),
+                _ => None,
+            }
+        });
+        // Both replicas of logical 1 (physical 1 and 3) got the copy.
+        assert_eq!(out[1].as_deref(), Some(b"hi".as_ref()));
+        assert_eq!(out[3].as_deref(), Some(b"hi".as_ref()));
+    }
+
+    #[test]
+    fn racing_survives_dead_sender_replica() {
+        // Physical 0 (replica 0 of logical 0) is dead; replica 1
+        // (physical 2) still serves logical 0's message.
+        let out = LocalCluster::run_with_failures(4, &[0], |comm| {
+            let mut rc = ReplicatedComm::new(comm, 2);
+            match rc.inner().rank() {
+                2 => {
+                    // Replica of logical 0 sends on its behalf.
+                    rc.send(1, t(1), Bytes::from_static(b"alive"));
+                    None
+                }
+                1 | 3 => Some(rc.recv(0, t(1)).unwrap().to_vec()),
+                _ => None,
+            }
+        });
+        assert_eq!(out[1].as_ref().unwrap().as_deref(), Some(b"alive".as_ref()));
+        assert_eq!(out[3].as_ref().unwrap().as_deref(), Some(b"alive".as_ref()));
+    }
+
+    #[test]
+    fn replicas_of_is_consistent() {
+        let comms = kylix_net::ThreadComm::make_cluster(8);
+        let rc = ReplicatedComm::new(comms.into_iter().next().unwrap(), 4);
+        assert_eq!(rc.size(), 2);
+        assert_eq!(rc.replicas_of(0), vec![0, 2, 4, 6]);
+        assert_eq!(rc.replicas_of(1), vec![1, 3, 5, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn bad_replication_panics() {
+        let comms = kylix_net::ThreadComm::make_cluster(5);
+        let _ = ReplicatedComm::new(comms.into_iter().next().unwrap(), 2);
+    }
+}

@@ -1,0 +1,121 @@
+//! Fuzz-style robustness tests: malformed wire data must error, never
+//! panic; random plans must keep their structural invariants; the
+//! configuration state must satisfy its internal geometry on arbitrary
+//! workloads.
+
+use kylix::codec::{decode_keys, decode_values, Decoder};
+use kylix::{Kylix, NetworkPlan};
+use kylix_net::{Comm, LocalCluster};
+use kylix_sparse::{Key, Xoshiro256};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes through the decoders: always Ok or Err, never a
+    /// panic or out-of-bounds.
+    #[test]
+    fn decoders_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_keys(&bytes);
+        let _ = decode_values::<f64>(&bytes);
+        let _ = decode_values::<u32>(&bytes);
+        let mut dec = Decoder::new(&bytes);
+        let _ = dec.keys();
+        let _ = dec.values::<u64>();
+    }
+
+    /// Truncations of a VALID message error cleanly.
+    #[test]
+    fn truncated_valid_messages_error(cut in 0usize..100, n in 1usize..32) {
+        let keys: Vec<Key> = (0..n as u64).map(Key::new).collect();
+        let enc = kylix::codec::encode_keys(&keys);
+        let cut = cut.min(enc.len().saturating_sub(1));
+        if cut < enc.len() {
+            let sliced = &enc[..cut];
+            // Either a clean error, or (for cut == full prefix of a
+            // shorter valid list) a successful shorter decode — but
+            // never a panic. Count headers make short prefixes invalid
+            // unless cut lands exactly on the 8-byte header of an empty
+            // list, which n >= 1 rules out.
+            prop_assert!(decode_keys(sliced).is_err());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random degree lists: plans keep group/coordinate/range coherence.
+    #[test]
+    fn random_plans_are_coherent(degrees in prop::collection::vec(1usize..6, 1..5)) {
+        let plan = NetworkPlan::new(&degrees);
+        let m = plan.size();
+        prop_assert!(m >= 1);
+        for j in 0..m {
+            for layer in 0..plan.layers() {
+                let g = plan.group(j, layer);
+                let c = plan.coordinate(j, layer);
+                prop_assert_eq!(g[c], j);
+                for &k in &g {
+                    prop_assert_eq!(plan.group(k, layer), g.clone());
+                }
+            }
+            // Bottom ranges tile disjointly: total length matches.
+            let r = plan.range_at(j, plan.layers());
+            prop_assert!(!r.is_empty() || m as u128 > (1u128 << 64));
+        }
+        let total: u128 = (0..m).map(|j| plan.range_at(j, plan.layers()).len()).sum();
+        prop_assert_eq!(total, 1u128 << 64);
+    }
+
+    /// Configuration geometry on random workloads: spans tile each
+    /// node's set, unions contain every shipped key, maps are in range.
+    #[test]
+    fn configuration_geometry_invariants(seed in 0u64..100_000) {
+        let plan = NetworkPlan::new(&[2, 2]);
+        let m = plan.size();
+        let mut rng = Xoshiro256::new(seed);
+        let idx: Vec<Vec<u64>> = (0..m)
+            .map(|_| {
+                let k = 1 + rng.next_index(50);
+                (0..k).map(|_| rng.next_below(512)).collect()
+            })
+            .collect();
+        let states = LocalCluster::run(m, |mut comm| {
+            let me = comm.rank();
+            Kylix::new(plan.clone())
+                .configure(&mut comm, &idx[me], &idx[me], 0)
+                .unwrap()
+        });
+        for state in &states {
+            let mut prev_len = state.out0.len();
+            for lr in &state.layers {
+                // Spans tile [0, prev_len).
+                prop_assert_eq!(lr.out_spans.first().unwrap().start, 0);
+                prop_assert_eq!(lr.out_spans.last().unwrap().end, prev_len);
+                for w in lr.out_spans.windows(2) {
+                    prop_assert_eq!(w[0].end, w[1].start);
+                }
+                // Maps index into the union.
+                for map in &lr.out_maps {
+                    for &p in map {
+                        prop_assert!((p as usize) < lr.out_union.len());
+                    }
+                }
+                for map in &lr.in_maps {
+                    for &p in map {
+                        prop_assert!((p as usize) < lr.in_union.len());
+                    }
+                }
+                prev_len = lr.out_union.len();
+            }
+            // Bottom lookup entries are positions or MISSING.
+            let bottom = state.layers.last().unwrap();
+            for &p in &state.bottom_in_to_out {
+                prop_assert!(
+                    p == kylix::config::MISSING || (p as usize) < bottom.out_union.len()
+                );
+            }
+        }
+    }
+}

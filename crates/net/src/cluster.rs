@@ -1,0 +1,116 @@
+//! In-process cluster runner: one OS thread per rank.
+//!
+//! [`LocalCluster::run`] spawns `m` node threads, hands each its
+//! [`crate::ThreadComm`] endpoint, and collects per-rank results. The
+//! failure-injection variant simply *does not run* the dead ranks — their
+//! endpoints are dropped, so traffic addressed to them disappears, which
+//! is exactly the failure model of the paper's §V (crashed machines stop
+//! talking; they do not babble).
+
+use crate::thread_comm::ThreadComm;
+use std::thread;
+
+/// Entry points for running closures as an in-process cluster.
+pub struct LocalCluster;
+
+impl LocalCluster {
+    /// Run `f(rank's comm)` on `m` concurrent node threads; returns each
+    /// rank's result, indexed by rank.
+    ///
+    /// Panics in any node thread propagate (the run is a test/bench
+    /// harness; a panicking protocol is a bug, not a tolerated fault —
+    /// tolerated faults are injected with [`LocalCluster::run_with_failures`]).
+    pub fn run<R, F>(m: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(ThreadComm) -> R + Sync,
+    {
+        let comms = ThreadComm::make_cluster(m);
+        thread::scope(|s| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|comm| s.spawn(|| f(comm)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("node thread panicked"))
+                .collect()
+        })
+    }
+
+    /// Run with the given ranks dead from the start. Dead ranks yield
+    /// `None`; their endpoints are dropped so messages to them vanish.
+    pub fn run_with_failures<R, F>(m: usize, dead: &[usize], f: F) -> Vec<Option<R>>
+    where
+        R: Send,
+        F: Fn(ThreadComm) -> R + Sync,
+    {
+        let comms = ThreadComm::make_cluster(m);
+        thread::scope(|s| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .enumerate()
+                .map(|(rank, comm)| {
+                    if dead.contains(&rank) {
+                        None
+                    } else {
+                        Some(s.spawn(|| f(comm)))
+                    }
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.map(|h| h.join().expect("node thread panicked")))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Comm;
+    use crate::tag::{Phase, Tag};
+    use bytes::Bytes;
+
+    #[test]
+    fn run_returns_results_in_rank_order() {
+        let out = LocalCluster::run(6, |c| c.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn ring_pass_sums_ranks() {
+        // Each rank sends its rank to the next; sums received value.
+        let m = 5;
+        let out = LocalCluster::run(m, |mut c| {
+            let t = Tag::new(Phase::App, 0, 0);
+            let next = (c.rank() + 1) % m;
+            let prev = (c.rank() + m - 1) % m;
+            c.send(next, t, Bytes::from(vec![c.rank() as u8]));
+            c.recv(prev, t).unwrap()[0] as usize
+        });
+        let total: usize = out.iter().sum();
+        assert_eq!(total, (0..m).sum());
+    }
+
+    #[test]
+    fn failures_leave_none_and_alive_proceed() {
+        let out = LocalCluster::run_with_failures(4, &[2], |mut c| {
+            // Everyone (alive) sends to rank 2; nobody waits on it.
+            let t = Tag::new(Phase::App, 0, 0);
+            c.send(2, t, Bytes::from_static(b"hello?"));
+            c.rank()
+        });
+        assert_eq!(out[0], Some(0));
+        assert_eq!(out[1], Some(1));
+        assert_eq!(out[2], None);
+        assert_eq!(out[3], Some(3));
+    }
+
+    #[test]
+    fn single_rank_cluster() {
+        let out = LocalCluster::run(1, |c| c.size());
+        assert_eq!(out, vec![1]);
+    }
+}

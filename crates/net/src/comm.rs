@@ -1,0 +1,183 @@
+//! The communicator trait.
+//!
+//! All Kylix protocol code — configuration, reduction, replication, the
+//! baselines, the applications — is written against [`Comm`]. The trait
+//! is intentionally tiny: point-to-point send, *selective* blocking
+//! receive (by source + tag), receive-any (the primitive behind the
+//! paper's replica "packet racing", §V.B), and two time hooks that let a
+//! virtual-time simulator charge compute and report virtual clocks while
+//! a real thread cluster reports wall clocks.
+
+use crate::tag::Tag;
+use bytes::Bytes;
+use std::time::Duration;
+
+/// Errors a receive can surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// No matching message arrived within the timeout (e.g. the peer is
+    /// dead and the protocol has no replica to race).
+    Timeout {
+        /// Rank that was being waited on (or usize::MAX for recv_any).
+        from: usize,
+        /// Tag that was being waited on.
+        tag: Tag,
+    },
+    /// The cluster is shutting down (all senders dropped).
+    Closed,
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Timeout { from, tag } => {
+                write!(f, "timed out waiting for rank {from} tag {tag:?}")
+            }
+            CommError::Closed => write!(f, "communicator closed"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Default patience for blocking receives — long enough for any test or
+/// bench on a loaded machine, short enough that a genuinely lost message
+/// fails the run instead of hanging it.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// A per-node communicator endpoint.
+///
+/// Each rank owns exactly one `Comm` value; methods take `&mut self`
+/// because endpoints carry node-local state (receive stashes, virtual
+/// clocks). Values are `Send` so ranks can run on their own threads.
+pub trait Comm: Send {
+    /// This node's rank in `0..size()`.
+    fn rank(&self) -> usize;
+
+    /// Number of nodes in the cluster.
+    fn size(&self) -> usize;
+
+    /// Fire-and-forget send. Sends to dead/absent ranks are silently
+    /// dropped (commodity clusters lose nodes; the protocol layers above
+    /// decide whether that is tolerable — see the replication module of
+    /// the `kylix` crate).
+    fn send(&mut self, to: usize, tag: Tag, payload: Bytes);
+
+    /// Blocking selective receive of the next message from `from` with
+    /// tag `tag`, with the given patience.
+    fn recv_timeout(
+        &mut self,
+        from: usize,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<Bytes, CommError>;
+
+    /// Blocking selective receive with the default patience.
+    fn recv(&mut self, from: usize, tag: Tag) -> Result<Bytes, CommError> {
+        self.recv_timeout(from, tag, DEFAULT_TIMEOUT)
+    }
+
+    /// Receive the first message with tag `tag` from *any* of `sources`
+    /// ("packet racing"): returns the winning source and its payload.
+    fn recv_any_timeout(
+        &mut self,
+        sources: &[usize],
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<(usize, Bytes), CommError>;
+
+    /// `recv_any_timeout` with the default patience.
+    fn recv_any(&mut self, sources: &[usize], tag: Tag) -> Result<(usize, Bytes), CommError> {
+        self.recv_any_timeout(sources, tag, DEFAULT_TIMEOUT)
+    }
+
+    /// Current time in seconds: wall-clock since cluster start for real
+    /// clusters, virtual time for simulators.
+    fn now(&self) -> f64;
+
+    /// Account local computation. Real clusters ignore this (the
+    /// computation actually happened); simulators advance the node's
+    /// virtual clock.
+    fn charge_compute(&mut self, _seconds: f64) {}
+
+    /// Bytes-per-element-independent hook: report how many application
+    /// payload bytes a protocol message carries, for traffic accounting.
+    /// Default is a no-op; the simulator records per-layer volumes.
+    fn note_traffic(&mut self, _layer: u16, _bytes: usize) {}
+}
+
+/// A communicator wrapper that bounds every blocking receive with a
+/// caller-chosen patience instead of [`DEFAULT_TIMEOUT`].
+///
+/// Useful for tests and demos that *expect* a peer to be unreachable
+/// (e.g. an unreplicated protocol facing a dead node) and want the
+/// failure surfaced quickly rather than after a minute.
+pub struct PatienceComm<C: Comm> {
+    inner: C,
+    patience: Duration,
+}
+
+impl<C: Comm> PatienceComm<C> {
+    /// Wrap a communicator with the given receive patience.
+    pub fn new(inner: C, patience: Duration) -> Self {
+        Self { inner, patience }
+    }
+
+    /// Unwrap the inner communicator.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+}
+
+impl<C: Comm> Comm for PatienceComm<C> {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn send(&mut self, to: usize, tag: Tag, payload: Bytes) {
+        self.inner.send(to, tag, payload);
+    }
+
+    fn recv_timeout(
+        &mut self,
+        from: usize,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<Bytes, CommError> {
+        self.inner.recv_timeout(from, tag, timeout.min(self.patience))
+    }
+
+    fn recv(&mut self, from: usize, tag: Tag) -> Result<Bytes, CommError> {
+        self.inner.recv_timeout(from, tag, self.patience)
+    }
+
+    fn recv_any_timeout(
+        &mut self,
+        sources: &[usize],
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<(usize, Bytes), CommError> {
+        self.inner
+            .recv_any_timeout(sources, tag, timeout.min(self.patience))
+    }
+
+    fn recv_any(&mut self, sources: &[usize], tag: Tag) -> Result<(usize, Bytes), CommError> {
+        self.inner.recv_any_timeout(sources, tag, self.patience)
+    }
+
+    fn now(&self) -> f64 {
+        self.inner.now()
+    }
+
+    fn charge_compute(&mut self, seconds: f64) {
+        self.inner.charge_compute(seconds);
+    }
+
+    fn note_traffic(&mut self, layer: u16, bytes: usize) {
+        self.inner.note_traffic(layer, bytes);
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # kylix-net
+//!
+//! Message-passing substrate for the Kylix reproduction.
+//!
+//! The original Kylix is "modular and can be run self-contained … it does
+//! not require an underlying distributed middleware like Hadoop or MPI"
+//! (paper §I.B) — it talks plain Java sockets. This crate plays that
+//! role: a deliberately small, MPI-free communicator abstraction
+//! ([`comm::Comm`]) with *selective receive* (receive by source and tag,
+//! buffering whatever else arrives), plus a real in-process cluster
+//! ([`cluster::LocalCluster`]) that runs one OS thread per node over
+//! crossbeam channels.
+//!
+//! Two implementations of [`comm::Comm`] exist in the workspace:
+//!
+//! * [`thread_comm::ThreadComm`] (here) — real concurrent execution,
+//!   wall-clock time; used for correctness tests and real benches.
+//! * `kylix-netsim`'s `SimComm` — the same protocol code running over a
+//!   virtual-time NIC cost model of a commodity 10 Gb/s cluster; used to
+//!   reproduce the paper's timing figures.
+//!
+//! Because every protocol in the workspace is written against the trait,
+//! the *identical* code path is exercised both ways.
+
+pub mod cluster;
+pub mod comm;
+pub mod tag;
+pub mod thread_comm;
+
+pub use cluster::LocalCluster;
+pub use comm::{Comm, CommError, PatienceComm};
+pub use tag::{Phase, Tag};
+pub use thread_comm::ThreadComm;

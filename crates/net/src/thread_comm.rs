@@ -1,0 +1,300 @@
+//! Real in-process communicator: one mailbox per rank over crossbeam
+//! channels.
+//!
+//! Matches the paper's implementation philosophy (§VI.B): nodes
+//! communicate *opportunistically* — messages are pushed asynchronously
+//! and the receiver picks matching ones out of its mailbox whenever the
+//! protocol asks, stashing the rest. That out-of-order stash is what lets
+//! every node run the butterfly schedule without global synchronisation.
+
+use crate::comm::{Comm, CommError};
+use crate::tag::Tag;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One in-flight message.
+#[derive(Debug)]
+struct Envelope {
+    src: usize,
+    tag: Tag,
+    payload: Bytes,
+}
+
+/// A rank's endpoint in an in-process thread cluster.
+pub struct ThreadComm {
+    rank: usize,
+    size: usize,
+    senders: Arc<Vec<Sender<Envelope>>>,
+    rx: Receiver<Envelope>,
+    /// Messages that arrived before the protocol asked for them.
+    stash: HashMap<(usize, Tag), VecDeque<Bytes>>,
+    epoch: Instant,
+}
+
+impl ThreadComm {
+    /// Build a full set of endpoints for an `m`-rank cluster. The caller
+    /// hands one endpoint to each node thread; dropping an endpoint
+    /// models a dead node (messages to it vanish).
+    pub fn make_cluster(m: usize) -> Vec<ThreadComm> {
+        assert!(m > 0, "cluster must have at least one rank");
+        let mut txs = Vec::with_capacity(m);
+        let mut rxs = Vec::with_capacity(m);
+        for _ in 0..m {
+            let (tx, rx) = unbounded();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let senders = Arc::new(txs);
+        let epoch = Instant::now();
+        rxs.into_iter()
+            .enumerate()
+            .map(|(rank, rx)| ThreadComm {
+                rank,
+                size: m,
+                senders: Arc::clone(&senders),
+                rx,
+                stash: HashMap::new(),
+                epoch,
+            })
+            .collect()
+    }
+
+    /// Pull everything currently in the channel into the stash.
+    fn drain_into_stash(&mut self) {
+        while let Ok(env) = self.rx.try_recv() {
+            self.stash
+                .entry((env.src, env.tag))
+                .or_default()
+                .push_back(env.payload);
+        }
+    }
+
+    fn take_stashed(&mut self, from: usize, tag: Tag) -> Option<Bytes> {
+        let q = self.stash.get_mut(&(from, tag))?;
+        let payload = q.pop_front();
+        if q.is_empty() {
+            self.stash.remove(&(from, tag));
+        }
+        payload
+    }
+}
+
+impl Comm for ThreadComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send(&mut self, to: usize, tag: Tag, payload: Bytes) {
+        debug_assert!(to < self.size, "rank {to} out of range");
+        // A disconnected receiver is a dead node: drop silently, exactly
+        // like a packet to a crashed machine (§V handles recovery).
+        let _ = self.senders[to].send(Envelope {
+            src: self.rank,
+            tag,
+            payload,
+        });
+    }
+
+    fn recv_timeout(
+        &mut self,
+        from: usize,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<Bytes, CommError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(p) = self.take_stashed(from, tag) {
+                return Ok(p);
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match self.rx.recv_timeout(remaining) {
+                Ok(env) => {
+                    if env.src == from && env.tag == tag {
+                        return Ok(env.payload);
+                    }
+                    self.stash
+                        .entry((env.src, env.tag))
+                        .or_default()
+                        .push_back(env.payload);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(CommError::Timeout { from, tag });
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(CommError::Closed),
+            }
+        }
+    }
+
+    fn recv_any_timeout(
+        &mut self,
+        sources: &[usize],
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<(usize, Bytes), CommError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.drain_into_stash();
+            for &s in sources {
+                if let Some(p) = self.take_stashed(s, tag) {
+                    return Ok((s, p));
+                }
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match self.rx.recv_timeout(remaining) {
+                Ok(env) => {
+                    if env.tag == tag && sources.contains(&env.src) {
+                        return Ok((env.src, env.payload));
+                    }
+                    self.stash
+                        .entry((env.src, env.tag))
+                        .or_default()
+                        .push_back(env.payload);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(CommError::Timeout {
+                        from: usize::MAX,
+                        tag,
+                    });
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(CommError::Closed),
+            }
+        }
+    }
+
+    fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tag::Phase;
+    use std::thread;
+
+    fn tag(layer: u16, seq: u32) -> Tag {
+        Tag::new(Phase::App, layer, seq)
+    }
+
+    #[test]
+    fn ping_pong() {
+        let mut comms = ThreadComm::make_cluster(2);
+        let mut c1 = comms.pop().unwrap();
+        let mut c0 = comms.pop().unwrap();
+        thread::scope(|s| {
+            s.spawn(move || {
+                c0.send(1, tag(0, 0), Bytes::from_static(b"ping"));
+                let r = c0.recv(1, tag(0, 1)).unwrap();
+                assert_eq!(&r[..], b"pong");
+            });
+            s.spawn(move || {
+                let r = c1.recv(0, tag(0, 0)).unwrap();
+                assert_eq!(&r[..], b"ping");
+                c1.send(0, tag(0, 1), Bytes::from_static(b"pong"));
+            });
+        });
+    }
+
+    #[test]
+    fn out_of_order_selective_receive() {
+        let mut comms = ThreadComm::make_cluster(2);
+        let mut c1 = comms.pop().unwrap();
+        let mut c0 = comms.pop().unwrap();
+        // Send three tags, receive them in reverse order.
+        c0.send(1, tag(0, 0), Bytes::from_static(b"a"));
+        c0.send(1, tag(0, 1), Bytes::from_static(b"b"));
+        c0.send(1, tag(0, 2), Bytes::from_static(b"c"));
+        assert_eq!(&c1.recv(0, tag(0, 2)).unwrap()[..], b"c");
+        assert_eq!(&c1.recv(0, tag(0, 1)).unwrap()[..], b"b");
+        assert_eq!(&c1.recv(0, tag(0, 0)).unwrap()[..], b"a");
+    }
+
+    #[test]
+    fn same_tag_messages_keep_fifo_order() {
+        let mut comms = ThreadComm::make_cluster(2);
+        let mut c1 = comms.pop().unwrap();
+        let mut c0 = comms.pop().unwrap();
+        for i in 0..5u8 {
+            c0.send(1, tag(0, 0), Bytes::from(vec![i]));
+        }
+        for i in 0..5u8 {
+            assert_eq!(c1.recv(0, tag(0, 0)).unwrap()[0], i);
+        }
+    }
+
+    #[test]
+    fn recv_any_returns_first_available() {
+        let mut comms = ThreadComm::make_cluster(3);
+        let mut c2 = comms.pop().unwrap();
+        let mut c1 = comms.pop().unwrap();
+        let _c0 = comms.pop().unwrap();
+        c1.send(2, tag(1, 0), Bytes::from_static(b"from1"));
+        let (src, payload) = c2.recv_any(&[0, 1], tag(1, 0)).unwrap();
+        assert_eq!(src, 1);
+        assert_eq!(&payload[..], b"from1");
+    }
+
+    #[test]
+    fn timeout_on_silent_peer() {
+        let mut comms = ThreadComm::make_cluster(2);
+        let mut c1 = comms.remove(1);
+        let err = c1
+            .recv_timeout(0, tag(0, 0), Duration::from_millis(50))
+            .unwrap_err();
+        assert!(matches!(err, CommError::Timeout { from: 0, .. }));
+    }
+
+    #[test]
+    fn send_to_dead_rank_is_dropped() {
+        let mut comms = ThreadComm::make_cluster(2);
+        let dead = comms.pop().unwrap();
+        drop(dead); // rank 1 never runs
+        let mut c0 = comms.pop().unwrap();
+        c0.send(1, tag(0, 0), Bytes::from_static(b"into the void"));
+        // No panic, nothing to assert beyond survival.
+    }
+
+    #[test]
+    fn all_to_all_exchange() {
+        let m = 8;
+        let comms = ThreadComm::make_cluster(m);
+        let results: Vec<Vec<u8>> = thread::scope(|s| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|mut c| {
+                    s.spawn(move || {
+                        let me = c.rank() as u8;
+                        for to in 0..m {
+                            c.send(to, tag(0, 0), Bytes::from(vec![me]));
+                        }
+                        let mut got = Vec::new();
+                        for from in 0..m {
+                            got.push(c.recv(from, tag(0, 0)).unwrap()[0]);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in results {
+            assert_eq!(r, (0..m as u8).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn now_is_monotone() {
+        let comms = ThreadComm::make_cluster(1);
+        let c = &comms[0];
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+}

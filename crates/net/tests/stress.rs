@@ -1,0 +1,132 @@
+//! Stress and edge-case tests for the thread cluster: many tags, many
+//! messages, interleaved selective receives, patience wrappers.
+
+use bytes::Bytes;
+use kylix_net::{Comm, LocalCluster, PatienceComm, Phase, Tag};
+use kylix_sparse::Xoshiro256;
+use std::time::Duration;
+
+fn t(layer: u16, seq: u32) -> Tag {
+    Tag::new(Phase::App, layer, seq)
+}
+
+/// Every pair exchanges hundreds of messages over interleaved tags in a
+/// random receive order; nothing is lost, nothing is misdelivered.
+#[test]
+fn interleaved_tags_random_receive_order() {
+    let m = 4;
+    let per_pair = 64u32;
+    let results = LocalCluster::run(m, |mut comm| {
+        let me = comm.rank();
+        // Send: payload encodes (src, dst, seq).
+        for dst in 0..m {
+            if dst == me {
+                continue;
+            }
+            for seq in 0..per_pair {
+                let payload = vec![me as u8, dst as u8, seq as u8];
+                comm.send(dst, t((seq % 4) as u16, seq), Bytes::from(payload));
+            }
+        }
+        // Receive in a per-node shuffled order of (src, seq).
+        let mut order: Vec<(usize, u32)> = (0..m)
+            .filter(|&s| s != me)
+            .flat_map(|s| (0..per_pair).map(move |q| (s, q)))
+            .collect();
+        let mut rng = Xoshiro256::new(me as u64 + 100);
+        rng.shuffle(&mut order);
+        let mut ok = 0usize;
+        for (src, seq) in order {
+            let payload = comm.recv(src, t((seq % 4) as u16, seq)).unwrap();
+            assert_eq!(payload.as_ref(), &[src as u8, me as u8, seq as u8]);
+            ok += 1;
+        }
+        ok
+    });
+    assert!(results.iter().all(|&ok| ok == 3 * 64));
+}
+
+/// Zero-length payloads work.
+#[test]
+fn empty_payloads_round_trip() {
+    let out = LocalCluster::run(2, |mut comm| {
+        if comm.rank() == 0 {
+            comm.send(1, t(0, 0), Bytes::new());
+            0
+        } else {
+            comm.recv(0, t(0, 0)).unwrap().len()
+        }
+    });
+    assert_eq!(out[1], 0);
+}
+
+/// Sending to self works through the mailbox.
+#[test]
+fn self_send_is_received() {
+    let out = LocalCluster::run(1, |mut comm| {
+        comm.send(0, t(0, 0), Bytes::from_static(b"loop"));
+        comm.recv(0, t(0, 0)).unwrap().to_vec()
+    });
+    assert_eq!(out[0], b"loop");
+}
+
+/// PatienceComm bounds receives and is transparent otherwise.
+#[test]
+fn patience_comm_bounds_and_forwards() {
+    let out = LocalCluster::run(2, |comm| {
+        let mut pc = PatienceComm::new(comm, Duration::from_millis(40));
+        if pc.rank() == 0 {
+            pc.send(1, t(0, 0), Bytes::from_static(b"hi"));
+            // Waiting on a message that never comes: bounded.
+            let start = std::time::Instant::now();
+            let err = pc.recv(1, t(9, 9)).unwrap_err();
+            (start.elapsed() < Duration::from_secs(5), format!("{err}"))
+        } else {
+            let got = pc.recv(0, t(0, 0)).unwrap();
+            (got.as_ref() == b"hi", String::new())
+        }
+    });
+    assert!(out[0].0, "patience was not honoured: {}", out[0].1);
+    assert!(out[1].0);
+}
+
+/// Large payloads (multi-megabyte) survive intact.
+#[test]
+fn large_payload_integrity() {
+    let n = 4 << 20; // 4 MiB
+    let out = LocalCluster::run(2, |mut comm| {
+        if comm.rank() == 0 {
+            let data: Vec<u8> = (0..n).map(|i| (i * 31 % 251) as u8).collect();
+            comm.send(1, t(0, 0), Bytes::from(data));
+            true
+        } else {
+            let got = comm.recv(0, t(0, 0)).unwrap();
+            got.len() == n && got.iter().enumerate().all(|(i, &b)| b == (i * 31 % 251) as u8)
+        }
+    });
+    assert!(out[1]);
+}
+
+/// recv_any across many senders drains every copy exactly once.
+#[test]
+fn recv_any_drains_all_copies() {
+    let m = 5;
+    let out = LocalCluster::run(m, |mut comm| {
+        let me = comm.rank();
+        if me == 0 {
+            let sources: Vec<usize> = (1..m).collect();
+            let mut seen = Vec::new();
+            for _ in 1..m {
+                let (src, payload) = comm.recv_any(&sources, t(0, 0)).unwrap();
+                assert_eq!(payload[0] as usize, src);
+                seen.push(src);
+            }
+            seen.sort_unstable();
+            seen
+        } else {
+            comm.send(0, t(0, 0), Bytes::from(vec![me as u8]));
+            Vec::new()
+        }
+    });
+    assert_eq!(out[0], vec![1, 2, 3, 4]);
+}

@@ -1,0 +1,208 @@
+//! The NIC / link cost model.
+//!
+//! A LogGP-flavoured model of one commodity cluster node's network
+//! interface:
+//!
+//! * `overhead` — fixed cost the sender's NIC pays per message (TCP
+//!   stack traversal, switch setup; the paper's "message sending
+//!   overhead" that makes sub-megabyte packets inefficient, Fig. 2);
+//! * `bandwidth` — link bandwidth in bytes/second; a node's sends are
+//!   serialised through its NIC at this rate;
+//! * `latency` — wire/switch latency added after transmission;
+//! * `jitter_sigma` — lognormal spread of the latency term, modelling
+//!   the variable, outlier-prone latencies of virtualised clusters
+//!   (paper §II: "networks with modest bandwidth and high (and variable)
+//!   latency");
+//! * `cpu_per_msg` / `cpu_per_byte` — receive-side processing cost
+//!   (deserialisation + merge), divisible across `workers` threads
+//!   (paper §VI.B and Fig. 7).
+//!
+//! With this model the effective throughput of a `P`-byte message is
+//! `P / (overhead + P/bandwidth)` — rising with `P` and saturating near
+//! `bandwidth`, which is exactly the measured shape of the paper's
+//! Fig. 2 (~30 % utilisation at 0.4 MB, ≳80 % at 5 MB on their 10 Gb/s
+//! fabric).
+
+/// Cost model of one node's NIC and receive path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NicModel {
+    /// Per-message fixed send overhead, seconds.
+    pub overhead: f64,
+    /// Link bandwidth, bytes per second.
+    pub bandwidth: f64,
+    /// Base one-way wire latency, seconds.
+    pub latency: f64,
+    /// Lognormal sigma of the latency jitter (0 disables jitter).
+    pub jitter_sigma: f64,
+    /// Receive-side fixed CPU cost per message, seconds.
+    pub cpu_per_msg: f64,
+    /// Receive-side CPU cost per payload byte, seconds.
+    pub cpu_per_byte: f64,
+    /// Number of receive-processing worker threads per node.
+    pub workers: usize,
+}
+
+impl NicModel {
+    /// Calibrated to the paper's EC2 measurements: 10 Gb/s links where
+    /// 0.4 MB packets reach ≈30 % of peak and ≈5 MB is the smallest
+    /// efficient packet (≥80 % of peak). Receive CPU costs sized so that
+    /// a 16-core cc2.8xlarge node benefits from up to ~16 workers
+    /// (Fig. 7).
+    pub fn ec2_10g() -> Self {
+        Self {
+            // 0.4 MB / 1.25 GB/s = 0.32 ms on the wire; 30 % utilisation
+            // implies overhead ≈ 0.75 ms (0.32/(o+0.32) = 0.3).
+            overhead: 0.75e-3,
+            bandwidth: 1.25e9, // 10 Gb/s
+            latency: 0.2e-3,
+            jitter_sigma: 0.3,
+            // Socket stack memcpy + merge: the paper observes ~3 Gb/s
+            // (0.375 GB/s) achieved per node end-to-end, i.e. the CPU
+            // path costs roughly 2x the wire when single-threaded.
+            cpu_per_msg: 0.3e-3,
+            cpu_per_byte: 1.0 / 0.6e9,
+            workers: 16,
+        }
+    }
+
+    /// The EC2 fabric as experienced by a **many-peer collective**
+    /// rather than a warm single-stream microbenchmark: per-message
+    /// overhead ×3.
+    ///
+    /// Fig. 2's streaming benchmark keeps one connection hot; an
+    /// all-to-all collective juggles up to 63 peers per node, paying
+    /// connection management, thread scheduling and switch-buffer
+    /// contention (incast) per message — effects the paper discusses in
+    /// §II and §VI.B and which first-order LogGP misses. The factor is
+    /// calibrated so the direct-vs-optimal gap of Fig. 6 lands in the
+    /// paper's reported 3–5× band at the Twitter operating point;
+    /// EXPERIMENTS.md reports results with and without it.
+    pub fn ec2_10g_collective() -> Self {
+        let base = Self::ec2_10g();
+        Self {
+            overhead: 3.0 * base.overhead,
+            ..base
+        }
+    }
+
+    /// Same fabric with jitter disabled — used where determinism of the
+    /// *model* (not just of the run) keeps assertions tight.
+    pub fn ec2_10g_nojitter() -> Self {
+        Self {
+            jitter_sigma: 0.0,
+            ..Self::ec2_10g()
+        }
+    }
+
+    /// An idealised network with no per-message overhead and no CPU
+    /// cost: useful in tests to isolate protocol logic from the model.
+    pub fn ideal(bandwidth: f64) -> Self {
+        Self {
+            overhead: 0.0,
+            bandwidth,
+            latency: 0.0,
+            jitter_sigma: 0.0,
+            cpu_per_msg: 0.0,
+            cpu_per_byte: 0.0,
+            workers: 1,
+        }
+    }
+
+    /// Override the worker count (Fig. 7 sweeps this).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers >= 1);
+        self.workers = workers;
+        self
+    }
+
+    /// Override jitter.
+    pub fn with_jitter(mut self, sigma: f64) -> Self {
+        self.jitter_sigma = sigma;
+        self
+    }
+
+    /// Pure wire time of a message of `bytes` (no queueing, no jitter).
+    pub fn xfer_time(&self, bytes: usize) -> f64 {
+        self.overhead + bytes as f64 / self.bandwidth
+    }
+
+    /// Receive-side processing time of a message of `bytes` on one worker.
+    pub fn proc_time(&self, bytes: usize) -> f64 {
+        self.cpu_per_msg + bytes as f64 * self.cpu_per_byte
+    }
+
+    /// Closed-form effective throughput (bytes/s) for `bytes`-sized
+    /// messages — the Fig. 2 curve.
+    pub fn effective_throughput(&self, bytes: usize) -> f64 {
+        bytes as f64 / self.xfer_time(bytes)
+    }
+
+    /// Fraction of peak bandwidth achieved at this packet size.
+    pub fn utilisation(&self, bytes: usize) -> f64 {
+        self.effective_throughput(bytes) / self.bandwidth
+    }
+
+    /// Smallest packet achieving the given utilisation of peak bandwidth
+    /// (the paper's "minimum efficient packet size"; they use ≈5 MB on
+    /// EC2). Solved in closed form: `P = u·o·B / (1-u)`.
+    pub fn min_efficient_packet(&self, utilisation: f64) -> f64 {
+        assert!((0.0..1.0).contains(&utilisation));
+        utilisation * self.overhead * self.bandwidth / (1.0 - utilisation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ec2_calibration_matches_paper_fig2() {
+        let nic = NicModel::ec2_10g();
+        // ≈30 % of peak at 0.4 MB.
+        let u_04 = nic.utilisation(400_000);
+        assert!((0.25..0.36).contains(&u_04), "0.4MB utilisation {u_04}");
+        // ≥80 % at 5 MB.
+        let u_5 = nic.utilisation(5_000_000);
+        assert!(u_5 >= 0.8, "5MB utilisation {u_5}");
+        // Tiny packets are terrible.
+        assert!(nic.utilisation(10_000) < 0.05);
+    }
+
+    #[test]
+    fn throughput_is_monotone_in_packet_size() {
+        let nic = NicModel::ec2_10g();
+        let mut prev = 0.0;
+        let mut p = 1024;
+        while p < 64_000_000 {
+            let t = nic.effective_throughput(p);
+            assert!(t > prev);
+            prev = t;
+            p *= 2;
+        }
+    }
+
+    #[test]
+    fn min_efficient_packet_inverts_utilisation() {
+        let nic = NicModel::ec2_10g();
+        for u in [0.3, 0.5, 0.8, 0.9] {
+            let p = nic.min_efficient_packet(u);
+            let got = nic.utilisation(p.round() as usize);
+            assert!((got - u).abs() < 0.01, "u {u}: {got}");
+        }
+    }
+
+    #[test]
+    fn ideal_network_has_no_overhead() {
+        let nic = NicModel::ideal(1e9);
+        assert_eq!(nic.xfer_time(0), 0.0);
+        assert_eq!(nic.xfer_time(1_000_000_000), 1.0);
+        assert!((nic.utilisation(1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn proc_time_scales_with_bytes() {
+        let nic = NicModel::ec2_10g();
+        assert!(nic.proc_time(1_000_000) > nic.proc_time(1_000));
+        assert!(nic.proc_time(0) == nic.cpu_per_msg);
+    }
+}

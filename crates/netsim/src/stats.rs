@@ -1,0 +1,133 @@
+//! Shared traffic accounting.
+//!
+//! The Fig. 5 experiment ("total communication volume across layers" —
+//! the Kylix silhouette) needs per-layer byte and message counts summed
+//! over all nodes. Protocol code reports its traffic through
+//! `Comm::note_traffic(layer, bytes)`; the simulator additionally
+//! records every message it carries, keyed by the tag's layer field.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Aggregate counters for one traffic class (layer).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LayerTraffic {
+    /// Total payload bytes.
+    pub bytes: u64,
+    /// Message count.
+    pub messages: u64,
+}
+
+/// Cluster-wide traffic statistics, shared between all node endpoints.
+#[derive(Debug, Default)]
+pub struct TrafficStats {
+    layers: Mutex<BTreeMap<u16, LayerTraffic>>,
+}
+
+impl TrafficStats {
+    /// New empty stats, ready to share between endpoints.
+    pub fn new_shared() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Record one message of `bytes` on `layer`.
+    pub fn record(&self, layer: u16, bytes: usize) {
+        let mut g = self.layers.lock();
+        let e = g.entry(layer).or_default();
+        e.bytes += bytes as u64;
+        e.messages += 1;
+    }
+
+    /// Snapshot the counters.
+    pub fn report(&self) -> TrafficReport {
+        TrafficReport {
+            layers: self.layers.lock().clone(),
+        }
+    }
+
+    /// Reset all counters (between experiment phases).
+    pub fn reset(&self) {
+        self.layers.lock().clear();
+    }
+}
+
+/// An immutable snapshot of [`TrafficStats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrafficReport {
+    /// Per-layer counters, ordered by layer id.
+    pub layers: BTreeMap<u16, LayerTraffic>,
+}
+
+impl TrafficReport {
+    /// Bytes recorded on one layer.
+    pub fn bytes_on(&self, layer: u16) -> u64 {
+        self.layers.get(&layer).map_or(0, |l| l.bytes)
+    }
+
+    /// Messages recorded on one layer.
+    pub fn messages_on(&self, layer: u16) -> u64 {
+        self.layers.get(&layer).map_or(0, |l| l.messages)
+    }
+
+    /// Total bytes across all layers.
+    pub fn total_bytes(&self) -> u64 {
+        self.layers.values().map(|l| l.bytes).sum()
+    }
+
+    /// Total messages across all layers.
+    pub fn total_messages(&self) -> u64 {
+        self.layers.values().map(|l| l.messages).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_report() {
+        let s = TrafficStats::new_shared();
+        s.record(1, 100);
+        s.record(1, 50);
+        s.record(2, 7);
+        let r = s.report();
+        assert_eq!(r.bytes_on(1), 150);
+        assert_eq!(r.messages_on(1), 2);
+        assert_eq!(r.bytes_on(2), 7);
+        assert_eq!(r.total_bytes(), 157);
+        assert_eq!(r.total_messages(), 3);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let s = TrafficStats::new_shared();
+        s.record(0, 10);
+        s.reset();
+        assert_eq!(s.report().total_bytes(), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let s = TrafficStats::new_shared();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        s.record(3, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.report().bytes_on(3), 8000);
+        assert_eq!(s.report().messages_on(3), 8000);
+    }
+
+    #[test]
+    fn missing_layer_reads_zero() {
+        let r = TrafficStats::new_shared().report();
+        assert_eq!(r.bytes_on(9), 0);
+        assert_eq!(r.messages_on(9), 0);
+    }
+}

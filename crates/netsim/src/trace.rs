@@ -1,0 +1,166 @@
+//! Message-level tracing of simulated runs.
+//!
+//! When enabled on a [`crate::SimCluster`], every message the simulator
+//! carries is recorded as a [`TraceEvent`] (source, destination, tag,
+//! payload size, virtual send/delivery times). Traces make the timing
+//! experiments auditable — e.g. Fig. 6's claim that the direct topology
+//! drowns in small packets can be *read off* the trace — and they feed
+//! the per-layer Gantt summaries the `figures` binary can print.
+
+use kylix_net::Tag;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// One simulated message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Sending rank.
+    pub src: usize,
+    /// Receiving rank.
+    pub dst: usize,
+    /// Message tag.
+    pub tag: Tag,
+    /// Payload bytes.
+    pub bytes: usize,
+    /// Virtual time the sender's NIC started emitting.
+    pub emit_t: f64,
+    /// Virtual delivery time at the receiver.
+    pub deliver_t: f64,
+}
+
+/// A shared, append-only trace buffer.
+#[derive(Debug, Default)]
+pub struct Trace {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl Trace {
+    /// New shared trace.
+    pub fn new_shared() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Append one event (called by the simulator on every send).
+    pub fn record(&self, event: TraceEvent) {
+        self.events.lock().push(event);
+    }
+
+    /// Snapshot all events, ordered by emission time.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut v = self.events.lock().clone();
+        v.sort_by(|a, b| a.emit_t.partial_cmp(&b.emit_t).expect("finite times"));
+        v
+    }
+
+    /// Number of recorded messages.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Summarise per protocol layer: message count, total bytes, mean
+    /// packet size, and the time span from first emission to last
+    /// delivery.
+    pub fn layer_summary(&self) -> Vec<LayerSummary> {
+        use std::collections::BTreeMap;
+        let mut by_layer: BTreeMap<u16, LayerSummary> = BTreeMap::new();
+        for e in self.events.lock().iter() {
+            let s = by_layer.entry(e.tag.layer()).or_insert(LayerSummary {
+                layer: e.tag.layer(),
+                messages: 0,
+                bytes: 0,
+                first_emit: f64::INFINITY,
+                last_deliver: 0.0,
+            });
+            s.messages += 1;
+            s.bytes += e.bytes as u64;
+            s.first_emit = s.first_emit.min(e.emit_t);
+            s.last_deliver = s.last_deliver.max(e.deliver_t);
+        }
+        by_layer.into_values().collect()
+    }
+}
+
+/// Aggregate of one layer's traced messages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerSummary {
+    /// Layer id (from the message tags).
+    pub layer: u16,
+    /// Messages carried.
+    pub messages: u64,
+    /// Total payload bytes.
+    pub bytes: u64,
+    /// Virtual time the first message started emitting.
+    pub first_emit: f64,
+    /// Virtual time the last message was delivered.
+    pub last_deliver: f64,
+}
+
+impl LayerSummary {
+    /// Mean packet size in bytes.
+    pub fn mean_packet(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.messages as f64
+        }
+    }
+
+    /// Wall span of the layer in virtual seconds.
+    pub fn span(&self) -> f64 {
+        (self.last_deliver - self.first_emit).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kylix_net::Phase;
+
+    fn ev(layer: u16, bytes: usize, emit: f64, deliver: f64) -> TraceEvent {
+        TraceEvent {
+            src: 0,
+            dst: 1,
+            tag: Tag::new(Phase::App, layer, 0),
+            bytes,
+            emit_t: emit,
+            deliver_t: deliver,
+        }
+    }
+
+    #[test]
+    fn events_sorted_by_emit() {
+        let t = Trace::new_shared();
+        t.record(ev(0, 10, 2.0, 3.0));
+        t.record(ev(0, 10, 1.0, 2.0));
+        let evs = t.events();
+        assert_eq!(evs[0].emit_t, 1.0);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn layer_summary_aggregates() {
+        let t = Trace::new_shared();
+        t.record(ev(0, 100, 0.0, 1.0));
+        t.record(ev(0, 300, 0.5, 2.0));
+        t.record(ev(1, 50, 2.0, 2.5));
+        let s = t.layer_summary();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].messages, 2);
+        assert_eq!(s[0].bytes, 400);
+        assert_eq!(s[0].mean_packet(), 200.0);
+        assert!((s[0].span() - 2.0).abs() < 1e-12);
+        assert_eq!(s[1].messages, 1);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new_shared();
+        assert!(t.is_empty());
+        assert!(t.layer_summary().is_empty());
+    }
+}

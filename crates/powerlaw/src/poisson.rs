@@ -1,0 +1,116 @@
+//! Poisson count sampling and exact occupancy draws.
+//!
+//! The Prop. 4.1 data model treats each feature's frequency as
+//! `Poisson(λ r^{-α})`. Two uses arise:
+//!
+//! * **Occupancy** — whether a feature appears at all. `P(count ≥ 1) =
+//!   1 − e^{-rate}` is a Bernoulli draw; we sample it exactly, which is
+//!   all the density experiments need.
+//! * **Counts** — actual multiplicities, for value generation. Knuth's
+//!   product method is exact for modest rates; above a threshold we use
+//!   the normal approximation (error negligible for rate ≳ 30 and these
+//!   workloads never depend on exact tail counts).
+
+use kylix_sparse::Xoshiro256;
+
+/// Rate above which the normal approximation replaces Knuth's method.
+const NORMAL_CUTOFF: f64 = 30.0;
+
+/// Draw a Poisson count with the given rate.
+pub fn sample_poisson(rng: &mut Xoshiro256, rate: f64) -> u64 {
+    assert!(rate >= 0.0 && rate.is_finite(), "bad rate {rate}");
+    if rate == 0.0 {
+        return 0;
+    }
+    if rate < NORMAL_CUTOFF {
+        // Knuth: multiply uniforms until the product drops below e^{-λ}.
+        let limit = (-rate).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.next_f64();
+            if p <= limit {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        // Normal approximation N(λ, λ), rounded and clamped.
+        let x = rate + rate.sqrt() * rng.next_gaussian();
+        x.round().max(0.0) as u64
+    }
+}
+
+/// Exact draw of the occupancy indicator `1{Poisson(rate) ≥ 1}`.
+pub fn sample_occupied(rng: &mut Xoshiro256, rate: f64) -> bool {
+    debug_assert!(rate >= 0.0);
+    // P(≥1) = 1 − e^{-rate}; u < p with u uniform.
+    rng.next_f64() < -(-rate).exp_m1()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_is_zero() {
+        let mut rng = Xoshiro256::new(1);
+        for _ in 0..100 {
+            assert_eq!(sample_poisson(&mut rng, 0.0), 0);
+        }
+    }
+
+    #[test]
+    fn small_rate_mean_and_variance() {
+        let mut rng = Xoshiro256::new(2);
+        let rate = 3.5;
+        let n = 200_000;
+        let (mut sum, mut sq) = (0f64, 0f64);
+        for _ in 0..n {
+            let k = sample_poisson(&mut rng, rate) as f64;
+            sum += k;
+            sq += k * k;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!((mean - rate).abs() < 0.05, "mean {mean}");
+        assert!((var - rate).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn large_rate_mean_and_variance() {
+        let mut rng = Xoshiro256::new(3);
+        let rate = 250.0;
+        let n = 100_000;
+        let (mut sum, mut sq) = (0f64, 0f64);
+        for _ in 0..n {
+            let k = sample_poisson(&mut rng, rate) as f64;
+            sum += k;
+            sq += k * k;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!((mean - rate).abs() < 0.5, "mean {mean}");
+        assert!((var / rate - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn occupancy_matches_closed_form() {
+        let mut rng = Xoshiro256::new(4);
+        for rate in [0.01f64, 0.5, 1.0, 4.0] {
+            let n = 200_000;
+            let hits = (0..n).filter(|_| sample_occupied(&mut rng, rate)).count();
+            let want = 1.0 - (-rate).exp();
+            let got = hits as f64 / n as f64;
+            assert!((got - want).abs() < 0.01, "rate {rate}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn occupancy_of_zero_rate_is_false() {
+        let mut rng = Xoshiro256::new(5);
+        for _ in 0..1000 {
+            assert!(!sample_occupied(&mut rng, 0.0));
+        }
+    }
+}

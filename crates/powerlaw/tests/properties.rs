@@ -1,0 +1,109 @@
+//! Property tests on the statistical models: the density function's
+//! analytic identities and the samplers' distributional sanity.
+
+use kylix_powerlaw::generator::{harmonic, lambda_for_draws};
+use kylix_powerlaw::{DensityModel, Zipf};
+use kylix_sparse::Xoshiro256;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// f is monotone in λ and bounded in [0, 1].
+    #[test]
+    fn density_monotone_and_bounded(
+        n in 64u64..100_000,
+        alpha in 0.3f64..2.5,
+        l1 in -6.0f64..6.0,
+        dl in 0.0f64..3.0,
+    ) {
+        let m = DensityModel::new(n, alpha);
+        let a = m.density(10f64.powf(l1));
+        let b = m.density(10f64.powf(l1 + dl));
+        prop_assert!((0.0..=1.0).contains(&a));
+        prop_assert!((0.0..=1.0).contains(&b));
+        prop_assert!(b >= a - 1e-12);
+    }
+
+    /// The inverse really inverts across the useful range.
+    #[test]
+    fn lambda_inverse_round_trips(
+        n in 256u64..50_000,
+        alpha in 0.4f64..2.0,
+        d in 0.01f64..0.95,
+    ) {
+        let m = DensityModel::new(n, alpha);
+        let lambda = m.lambda_for_density(d);
+        prop_assert!((m.density(lambda) - d).abs() < 1e-5);
+    }
+
+    /// Superadditivity of union density: f(2λ) ≤ 2·f(λ) (collisions
+    /// only remove elements) and f(2λ) ≥ f(λ).
+    #[test]
+    fn union_density_bounds(
+        n in 256u64..50_000,
+        alpha in 0.4f64..2.0,
+        l in -4.0f64..4.0,
+    ) {
+        let m = DensityModel::new(n, alpha);
+        let lambda = 10f64.powf(l);
+        let one = m.density(lambda);
+        let two = m.density(2.0 * lambda);
+        prop_assert!(two <= 2.0 * one + 1e-12);
+        prop_assert!(two >= one - 1e-12);
+    }
+
+    /// Layer predictions: density grows downward, per-node elements
+    /// shrink, aggregation factors multiply out.
+    #[test]
+    fn layer_predictions_invariants(
+        alpha in 0.6f64..1.8,
+        d0 in 0.02f64..0.5,
+        degrees in prop::collection::vec(2usize..9, 1..4),
+    ) {
+        let m = DensityModel::new(1 << 16, alpha);
+        let lambda0 = m.lambda_for_density(d0);
+        let preds = m.layer_predictions(lambda0, &degrees);
+        prop_assert_eq!(preds.len(), degrees.len() + 1);
+        let product: u64 = degrees.iter().map(|&d| d as u64).product();
+        prop_assert_eq!(preds.last().unwrap().aggregated, product);
+        for w in preds.windows(2) {
+            prop_assert!(w[1].density >= w[0].density);
+            prop_assert!(w[1].elems_per_node <= w[0].elems_per_node + 1e-9);
+        }
+    }
+
+    /// Harmonic numbers: positive, increasing in n, decreasing in α.
+    #[test]
+    fn harmonic_monotonicity(n in 10u64..1_000_000, alpha in 0.3f64..2.5) {
+        let h = harmonic(n, alpha);
+        prop_assert!(h > 0.0);
+        prop_assert!(harmonic(n + 10, alpha) >= h);
+        prop_assert!(harmonic(n, alpha + 0.2) <= h);
+    }
+
+    /// λ from draws is linear in the draw count.
+    #[test]
+    fn lambda_linear_in_draws(n in 100u64..100_000, alpha in 0.4f64..2.0, draws in 1u64..1_000_000) {
+        let a = lambda_for_draws(n, alpha, draws);
+        let b = lambda_for_draws(n, alpha, 2 * draws);
+        prop_assert!((b / a - 2.0).abs() < 1e-9);
+    }
+
+    /// Zipf samples respect the support and favour small ranks in
+    /// aggregate: the mean sampled rank is far below uniform's mean.
+    #[test]
+    fn zipf_head_heavy(n in 100u64..10_000, alpha in 0.8f64..2.0, seed in 0u64..1000) {
+        let z = Zipf::new(n, alpha);
+        let mut rng = Xoshiro256::new(seed);
+        let k = 2000;
+        let mut sum = 0.0;
+        for _ in 0..k {
+            let r = z.sample(&mut rng);
+            prop_assert!((1..=n).contains(&r));
+            sum += r as f64;
+        }
+        let mean = sum / k as f64;
+        prop_assert!(mean < 0.4 * n as f64, "mean rank {mean} vs n {n}");
+    }
+}

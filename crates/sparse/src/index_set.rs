@@ -1,0 +1,190 @@
+//! Sorted, deduplicated sets of hashed feature indices.
+//!
+//! An [`IndexSet`] is the unit of Kylix's configuration pass: each node's
+//! `in` and `out` feature sets are kept in `(hash, index)` order so that
+//!
+//! * splitting by hash range is two binary searches per boundary,
+//! * unions of co-ranged sets are linear merges (see [`crate::merge`]),
+//! * positions in the set index directly into the value vectors exchanged
+//!   during reduction.
+
+use crate::key::Key;
+use crate::range::HashRange;
+
+/// A sorted, deduplicated sequence of [`Key`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IndexSet {
+    keys: Vec<Key>,
+}
+
+impl IndexSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from raw feature indices (hashes computed, sorted, deduped).
+    pub fn from_indices(indices: impl IntoIterator<Item = u64>) -> Self {
+        let mut keys: Vec<Key> = indices.into_iter().map(Key::new).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        Self { keys }
+    }
+
+    /// Build from keys that are already sorted and deduplicated.
+    ///
+    /// Panics in debug builds if the invariant does not hold.
+    pub fn from_sorted_keys(keys: Vec<Key>) -> Self {
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys not sorted/unique");
+        Self { keys }
+    }
+
+    /// Number of keys.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Is the set empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The sorted keys.
+    #[inline]
+    pub fn keys(&self) -> &[Key] {
+        &self.keys
+    }
+
+    /// Consume into the sorted key vector.
+    pub fn into_keys(self) -> Vec<Key> {
+        self.keys
+    }
+
+    /// Iterate the original feature indices in set (hash) order.
+    pub fn indices(&self) -> impl Iterator<Item = u64> + '_ {
+        self.keys.iter().map(|k| k.index)
+    }
+
+    /// Binary-search the position of `key`.
+    pub fn position(&self, key: Key) -> Option<usize> {
+        self.keys.binary_search(&key).ok()
+    }
+
+    /// Does the set contain the feature index?
+    pub fn contains_index(&self, index: u64) -> bool {
+        self.position(Key::new(index)).is_some()
+    }
+
+    /// The position range `[start, end)` of keys whose hash lies in `range`.
+    pub fn span_of(&self, range: &HashRange) -> std::ops::Range<usize> {
+        let start = self.keys.partition_point(|k| (k.hash as u128) < range.lo() as u128);
+        let end = self.keys.partition_point(|k| (k.hash as u128) < range.hi());
+        start..end
+    }
+
+    /// Split the set into `d` contiguous slices, one per equal sub-range of
+    /// `range`. The concatenation of the slices is exactly the whole set
+    /// (assuming all keys lie within `range`, which the caller guarantees
+    /// in the Kylix protocol).
+    pub fn split_by_range<'a>(&'a self, range: &HashRange, d: usize) -> Vec<&'a [Key]> {
+        let parts = range.split(d);
+        let mut out = Vec::with_capacity(d);
+        for p in &parts {
+            out.push(&self.keys[self.span_of(p)]);
+        }
+        out
+    }
+
+    /// Check every key lies within `range` (protocol invariant; used by
+    /// debug assertions and tests).
+    pub fn all_within(&self, range: &HashRange) -> bool {
+        self.keys.iter().all(|k| range.contains(k.hash))
+    }
+}
+
+impl FromIterator<u64> for IndexSet {
+    fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
+        Self::from_indices(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::Xoshiro256;
+
+    #[test]
+    fn from_indices_sorts_and_dedups() {
+        let s = IndexSet::from_indices([5u64, 1, 5, 9, 1, 1]);
+        assert_eq!(s.len(), 3);
+        assert!(s.keys().windows(2).all(|w| w[0] < w[1]));
+        let mut idx: Vec<u64> = s.indices().collect();
+        idx.sort_unstable();
+        assert_eq!(idx, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn contains_and_position() {
+        let s = IndexSet::from_indices(0..100u64);
+        for i in 0..100 {
+            assert!(s.contains_index(i));
+        }
+        assert!(!s.contains_index(100));
+        for (p, k) in s.keys().iter().enumerate() {
+            assert_eq!(s.position(*k), Some(p));
+        }
+    }
+
+    #[test]
+    fn split_by_range_concatenates_to_whole() {
+        let mut rng = Xoshiro256::new(17);
+        let s = IndexSet::from_indices((0..5000).map(|_| rng.next_below(1_000_000)));
+        for d in [1usize, 2, 3, 7, 16] {
+            let parts = s.split_by_range(&HashRange::full(), d);
+            let cat: Vec<Key> = parts.iter().flat_map(|p| p.iter().copied()).collect();
+            assert_eq!(cat, s.keys(), "d={d}");
+        }
+    }
+
+    #[test]
+    fn split_parts_land_in_their_ranges() {
+        let mut rng = Xoshiro256::new(19);
+        let s = IndexSet::from_indices((0..2000).map(|_| rng.next_u64()));
+        let ranges = HashRange::full().split(8);
+        let parts = s.split_by_range(&HashRange::full(), 8);
+        for (r, p) in ranges.iter().zip(&parts) {
+            for k in *p {
+                assert!(r.contains(k.hash));
+            }
+        }
+    }
+
+    #[test]
+    fn power_law_indices_balance_across_ranges() {
+        // Indices 0..n with Zipf-ish duplication collapse to 0..n distinct
+        // keys; hashing must spread them evenly across 8 ranges.
+        let s = IndexSet::from_indices(0..80_000u64);
+        let parts = s.split_by_range(&HashRange::full(), 8);
+        for p in &parts {
+            let frac = p.len() as f64 / s.len() as f64;
+            assert!((frac - 0.125).abs() < 0.01, "unbalanced: {}", p.len());
+        }
+    }
+
+    #[test]
+    fn span_of_empty_range_is_empty() {
+        let s = IndexSet::from_indices(0..100u64);
+        let r = HashRange::new(42, 42);
+        assert!(s.span_of(&r).is_empty());
+    }
+
+    #[test]
+    fn all_within_detects_outliers() {
+        let s = IndexSet::from_indices([1u64, 2, 3]);
+        assert!(s.all_within(&HashRange::full()));
+        let tiny = HashRange::new(0, 1);
+        assert!(!s.all_within(&tiny));
+    }
+}

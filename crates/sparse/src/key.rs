@@ -1,0 +1,77 @@
+//! Hashed feature keys.
+//!
+//! A [`Key`] pairs an application-level feature index with its splitmix64
+//! hash. All Kylix index sets are sorted by `(hash, index)`:
+//!
+//! * the hash component spreads power-law heads uniformly across the
+//!   partitioning space, so equal hash ranges ≈ equal expected load;
+//! * the index component breaks ties (the hash is bijective so ties never
+//!   actually occur between distinct indices, but keeping the index in the
+//!   comparison makes the order a total order by construction and guards
+//!   against a future non-bijective hash).
+//!
+//! Keys are 16 bytes and `Copy`; merge kernels move them by value.
+
+use crate::hash::mix64;
+
+/// A feature index tagged with its partitioning hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Key {
+    /// splitmix64 hash of `index` — the primary sort/partition component.
+    pub hash: u64,
+    /// The original application-level feature index.
+    pub index: u64,
+}
+
+impl Key {
+    /// Build a key from a raw feature index.
+    #[inline]
+    pub fn new(index: u64) -> Self {
+        Self {
+            hash: mix64(index),
+            index,
+        }
+    }
+}
+
+impl From<u64> for Key {
+    #[inline]
+    fn from(index: u64) -> Self {
+        Key::new(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_orders_by_hash_first() {
+        // Find two indices whose hash order differs from index order.
+        let a = Key::new(0);
+        let b = Key::new(1);
+        if a.hash < b.hash {
+            assert!(a < b);
+        } else {
+            assert!(b < a);
+        }
+    }
+
+    #[test]
+    fn key_new_matches_mix64() {
+        let k = Key::new(123456);
+        assert_eq!(k.hash, mix64(123456));
+        assert_eq!(k.index, 123456);
+    }
+
+    #[test]
+    fn key_is_16_bytes() {
+        assert_eq!(std::mem::size_of::<Key>(), 16);
+    }
+
+    #[test]
+    fn from_u64_round_trip() {
+        let k: Key = 42u64.into();
+        assert_eq!(k, Key::new(42));
+    }
+}

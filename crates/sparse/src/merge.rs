@@ -1,0 +1,296 @@
+//! Union-with-position-maps merge kernels.
+//!
+//! During configuration (paper §III.A) a node receives `d` sorted index
+//! sets from its butterfly-group neighbours and must compute
+//!
+//! 1. the **union** of the sets (the node's index set for the next layer),
+//! 2. for every input set, a **position map** from positions in that set
+//!    to positions in the union.
+//!
+//! The maps are what make reduction cheap: the down pass *scatter-adds* a
+//! neighbour's value vector into the union layout with one indexed add per
+//! element (`map f` in the paper), and the up pass *gathers* the slice a
+//! neighbour asked for with one indexed read per element (`map g`).
+//!
+//! §VI.A of the paper observes that hash tables are the asymptotically
+//! obvious way to union sets but lose badly to **merging sorted runs** in
+//! practice (5× in their measurements) because of random-access constants.
+//! Merging is only efficient when the two runs are comparable in length,
+//! so `k` sets are combined along a balanced binary **tree merge**: leaves
+//! are the input sets, every internal node merges two runs of similar
+//! size. We implement exactly that, threading the position maps through
+//! the tree: when two runs merge, previously-built maps of their leaves
+//! are rewritten through the merge's own placement vector.
+
+use crate::key::Key;
+
+/// Result of unioning `k` sorted sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeResult {
+    /// The sorted, deduplicated union of all input sets.
+    pub union: Vec<Key>,
+    /// `maps[i][p]` = position in `union` of element `p` of input set `i`.
+    pub maps: Vec<Vec<u32>>,
+}
+
+/// Merge two sorted deduplicated runs, producing the union and, for each
+/// input, the map from its positions to union positions.
+pub fn merge_union(a: &[Key], b: &[Key]) -> MergeResult {
+    let mut union = Vec::with_capacity(a.len() + b.len());
+    let mut map_a = Vec::with_capacity(a.len());
+    let mut map_b = Vec::with_capacity(b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let pos = union.len() as u32;
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                union.push(a[i]);
+                map_a.push(pos);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                union.push(b[j]);
+                map_b.push(pos);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                union.push(a[i]);
+                map_a.push(pos);
+                map_b.push(pos);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    while i < a.len() {
+        map_a.push(union.len() as u32);
+        union.push(a[i]);
+        i += 1;
+    }
+    while j < b.len() {
+        map_b.push(union.len() as u32);
+        union.push(b[j]);
+        j += 1;
+    }
+    MergeResult {
+        union,
+        maps: vec![map_a, map_b],
+    }
+}
+
+/// Union `k` sorted deduplicated sets via a balanced tree merge,
+/// returning per-set position maps into the union (paper §VI.A).
+///
+/// Cost is `O(S log k)` where `S` is the total input size, versus
+/// `O(S k)` for naive sequential accumulation into one growing run.
+pub fn tree_merge(sets: &[&[Key]]) -> MergeResult {
+    match sets.len() {
+        0 => MergeResult {
+            union: Vec::new(),
+            maps: Vec::new(),
+        },
+        1 => MergeResult {
+            union: sets[0].to_vec(),
+            maps: vec![(0..sets[0].len() as u32).collect()],
+        },
+        _ => {
+            // Internal frame: a merged run plus the maps of the original
+            // leaf sets it covers (in input order).
+            struct Frame {
+                run: Vec<Key>,
+                leaf_maps: Vec<(usize, Vec<u32>)>,
+            }
+            let mut level: Vec<Frame> = sets
+                .iter()
+                .enumerate()
+                .map(|(i, s)| Frame {
+                    run: s.to_vec(),
+                    leaf_maps: vec![(i, (0..s.len() as u32).collect())],
+                })
+                .collect();
+            while level.len() > 1 {
+                let mut next = Vec::with_capacity(level.len().div_ceil(2));
+                let mut it = level.into_iter();
+                while let Some(a) = it.next() {
+                    match it.next() {
+                        None => next.push(a),
+                        Some(b) => {
+                            let merged = merge_union(&a.run, &b.run);
+                            let mut leaf_maps =
+                                Vec::with_capacity(a.leaf_maps.len() + b.leaf_maps.len());
+                            for (idx, m) in a.leaf_maps {
+                                leaf_maps.push((
+                                    idx,
+                                    m.iter().map(|&p| merged.maps[0][p as usize]).collect(),
+                                ));
+                            }
+                            for (idx, m) in b.leaf_maps {
+                                leaf_maps.push((
+                                    idx,
+                                    m.iter().map(|&p| merged.maps[1][p as usize]).collect(),
+                                ));
+                            }
+                            next.push(Frame {
+                                run: merged.union,
+                                leaf_maps,
+                            });
+                        }
+                    }
+                }
+                level = next;
+            }
+            let root = level.pop().expect("nonempty level");
+            let mut maps = vec![Vec::new(); sets.len()];
+            for (idx, m) in root.leaf_maps {
+                maps[idx] = m;
+            }
+            MergeResult {
+                union: root.run,
+                maps,
+            }
+        }
+    }
+}
+
+/// Reference union via hash set + sort; used by tests and benches as the
+/// baseline the paper's tree merge beat by 5×.
+pub fn hash_union(sets: &[&[Key]]) -> Vec<Key> {
+    let mut all: std::collections::HashSet<Key> = std::collections::HashSet::new();
+    for s in sets {
+        all.extend(s.iter().copied());
+    }
+    let mut v: Vec<Key> = all.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::Xoshiro256;
+    use crate::index_set::IndexSet;
+
+    fn set(ids: impl IntoIterator<Item = u64>) -> Vec<Key> {
+        IndexSet::from_indices(ids).into_keys()
+    }
+
+    fn check_maps(result: &MergeResult, inputs: &[&[Key]]) {
+        assert_eq!(result.maps.len(), inputs.len());
+        for (input, map) in inputs.iter().zip(&result.maps) {
+            assert_eq!(input.len(), map.len());
+            for (k, &p) in input.iter().zip(map) {
+                assert_eq!(result.union[p as usize], *k, "map points at wrong key");
+            }
+        }
+        assert!(
+            result.union.windows(2).all(|w| w[0] < w[1]),
+            "union not sorted/unique"
+        );
+    }
+
+    #[test]
+    fn merge_two_disjoint() {
+        let a = set([1u64, 2, 3]);
+        let b = set([10u64, 20, 30]);
+        let r = merge_union(&a, &b);
+        assert_eq!(r.union.len(), 6);
+        check_maps(&r, &[&a, &b]);
+    }
+
+    #[test]
+    fn merge_two_identical() {
+        let a = set(0..50u64);
+        let r = merge_union(&a, &a);
+        assert_eq!(r.union, a);
+        assert_eq!(r.maps[0], r.maps[1]);
+        check_maps(&r, &[&a, &a]);
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let a = set([7u64, 8]);
+        let e: Vec<Key> = Vec::new();
+        let r = merge_union(&a, &e);
+        assert_eq!(r.union, a);
+        assert!(r.maps[1].is_empty());
+        let r2 = merge_union(&e, &a);
+        assert_eq!(r2.union, a);
+    }
+
+    #[test]
+    fn tree_merge_matches_hash_union() {
+        let mut rng = Xoshiro256::new(42);
+        for k in [1usize, 2, 3, 4, 5, 8, 9, 16, 17] {
+            let sets: Vec<Vec<Key>> = (0..k)
+                .map(|_| {
+                    let n = rng.next_index(500);
+                    set((0..n).map(|_| rng.next_below(1000)))
+                })
+                .collect();
+            let refs: Vec<&[Key]> = sets.iter().map(|s| s.as_slice()).collect();
+            let r = tree_merge(&refs);
+            assert_eq!(r.union, hash_union(&refs), "k={k}");
+            check_maps(&r, &refs);
+        }
+    }
+
+    #[test]
+    fn tree_merge_zero_sets() {
+        let r = tree_merge(&[]);
+        assert!(r.union.is_empty());
+        assert!(r.maps.is_empty());
+    }
+
+    #[test]
+    fn tree_merge_single_set_is_identity() {
+        let a = set([3u64, 1, 4, 1, 5]);
+        let r = tree_merge(&[&a]);
+        assert_eq!(r.union, a);
+        assert_eq!(r.maps[0], (0..a.len() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scatter_add_through_maps_sums_duplicates() {
+        // The whole point of the maps: values at shared indices collapse.
+        let a = set([1u64, 2, 3]);
+        let b = set([2u64, 3, 4]);
+        let r = tree_merge(&[&a, &b]);
+        let mut acc = vec![0.0f64; r.union.len()];
+        for (v, &p) in [1.0, 1.0, 1.0].iter().zip(&r.maps[0]) {
+            acc[p as usize] += v;
+        }
+        for (v, &p) in [10.0, 10.0, 10.0].iter().zip(&r.maps[1]) {
+            acc[p as usize] += v;
+        }
+        let total: f64 = acc.iter().sum();
+        assert_eq!(total, 33.0);
+        // index 2 and 3 got both contributions
+        let pos2 = r.union.iter().position(|k| k.index == 2).unwrap();
+        assert_eq!(acc[pos2], 11.0);
+    }
+
+    #[test]
+    fn power_law_collision_shrinks_union() {
+        // Heads of power-law sets overlap heavily, so the union is much
+        // smaller than the concatenation — the effect behind the Kylix
+        // volume profile (paper Fig. 5).
+        let mut rng = Xoshiro256::new(1);
+        let sets: Vec<Vec<Key>> = (0..8)
+            .map(|_| {
+                set((0..3000).map(|_| {
+                    // crude zipf: floor(u^-1) capped
+                    let u = rng.next_f64().max(1e-9);
+                    ((1.0 / u) as u64).min(9999)
+                }))
+            })
+            .collect();
+        let refs: Vec<&[Key]> = sets.iter().map(|s| s.as_slice()).collect();
+        let total: usize = refs.iter().map(|s| s.len()).sum();
+        let r = tree_merge(&refs);
+        assert!(
+            r.union.len() * 2 < total,
+            "expected heavy collapse: union {} vs total {total}",
+            r.union.len()
+        );
+    }
+}

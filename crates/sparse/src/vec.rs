@@ -1,0 +1,205 @@
+//! Sparse vectors: an index set paired with values, plus the
+//! scatter/gather kernels that move values through position maps.
+//!
+//! During reduction (paper §III.B) the value buffers exchanged between
+//! nodes are *positional*: a message carries the values of a contiguous
+//! slice of the sender's sorted index set, and the receiver either
+//! **scatter-adds** them into its union layout (down pass, map `f`) or
+//! **gathers** a requested slice out of its layout (up pass, map `g`).
+//! Keeping values positional means no index decoding in the hot loop —
+//! one `map[p]` lookup per element, exactly the "constant time per
+//! element" the paper claims for its maps.
+
+use crate::index_set::IndexSet;
+use crate::key::Key;
+use crate::reducer::Reducer;
+
+/// A sparse vector: sorted keys plus one value per key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseVec<V> {
+    keys: IndexSet,
+    vals: Vec<V>,
+}
+
+impl<V: Copy> SparseVec<V> {
+    /// Build from `(index, value)` pairs; duplicate indices are combined
+    /// with `reducer`.
+    pub fn from_pairs<R: Reducer<V>>(
+        pairs: impl IntoIterator<Item = (u64, V)>,
+        reducer: R,
+    ) -> Self {
+        let mut kv: Vec<(Key, V)> = pairs.into_iter().map(|(i, v)| (Key::new(i), v)).collect();
+        kv.sort_unstable_by_key(|(k, _)| *k);
+        let mut keys = Vec::with_capacity(kv.len());
+        let mut vals: Vec<V> = Vec::with_capacity(kv.len());
+        for (k, v) in kv {
+            if keys.last() == Some(&k) {
+                let last = vals.last_mut().expect("vals tracks keys");
+                reducer.combine(last, v);
+            } else {
+                keys.push(k);
+                vals.push(v);
+            }
+        }
+        Self {
+            keys: IndexSet::from_sorted_keys(keys),
+            vals,
+        }
+    }
+
+    /// Pair an existing index set with a value per key (lengths must match).
+    pub fn from_parts(keys: IndexSet, vals: Vec<V>) -> Self {
+        assert_eq!(keys.len(), vals.len(), "keys/vals length mismatch");
+        Self { keys, vals }
+    }
+
+    /// An all-`fill` vector over the given index set.
+    pub fn filled(keys: IndexSet, fill: V) -> Self {
+        let n = keys.len();
+        Self {
+            keys,
+            vals: vec![fill; n],
+        }
+    }
+
+    /// Number of stored (index, value) pairs.
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// True when no pairs are stored.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// The sorted index set.
+    pub fn keys(&self) -> &IndexSet {
+        &self.keys
+    }
+
+    /// The values, positionally aligned with `keys()`.
+    pub fn values(&self) -> &[V] {
+        &self.vals
+    }
+
+    /// Mutable values.
+    pub fn values_mut(&mut self) -> &mut [V] {
+        &mut self.vals
+    }
+
+    /// Value at a feature index, if present.
+    pub fn get(&self, index: u64) -> Option<V> {
+        self.keys.position(Key::new(index)).map(|p| self.vals[p])
+    }
+
+    /// Iterate `(index, value)` pairs in key (hash) order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, V)> + '_ {
+        self.keys.indices().zip(self.vals.iter().copied())
+    }
+}
+
+/// Scatter-add `src` into `dst` through a position map:
+/// `dst[map[p]] ⊕= src[p]` (paper's map `f`, down pass).
+#[inline]
+pub fn scatter_combine<V: Copy, R: Reducer<V>>(dst: &mut [V], src: &[V], map: &[u32], reducer: R) {
+    debug_assert_eq!(src.len(), map.len());
+    for (v, &p) in src.iter().zip(map) {
+        reducer.combine(&mut dst[p as usize], *v);
+    }
+}
+
+/// Gather through a position map: `out[p] = src[map[p]]`
+/// (paper's map `g`, up pass).
+#[inline]
+pub fn gather<V: Copy>(src: &[V], map: &[u32]) -> Vec<V> {
+    map.iter().map(|&p| src[p as usize]).collect()
+}
+
+/// Gather into a caller-provided buffer (avoids per-message allocation in
+/// hot loops).
+#[inline]
+pub fn gather_into<V: Copy>(src: &[V], map: &[u32], out: &mut Vec<V>) {
+    out.clear();
+    out.reserve(map.len());
+    for &p in map {
+        out.push(src[p as usize]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::tree_merge;
+    use crate::reducer::{MinReducer, SumReducer};
+
+    #[test]
+    fn from_pairs_combines_duplicates() {
+        let v = SparseVec::from_pairs([(1u64, 2.0f64), (2, 3.0), (1, 5.0)], SumReducer);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.get(1), Some(7.0));
+        assert_eq!(v.get(2), Some(3.0));
+        assert_eq!(v.get(3), None);
+    }
+
+    #[test]
+    fn from_pairs_with_min_reducer() {
+        let v = SparseVec::from_pairs([(9u64, 5u64), (9, 2), (9, 8)], MinReducer);
+        assert_eq!(v.get(9), Some(2));
+    }
+
+    #[test]
+    fn filled_covers_all_keys() {
+        let keys = IndexSet::from_indices([4u64, 5, 6]);
+        let v = SparseVec::filled(keys, 1.0f64);
+        assert!(v.iter().all(|(_, x)| x == 1.0));
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_parts_checks_lengths() {
+        let keys = IndexSet::from_indices([1u64, 2]);
+        let _ = SparseVec::from_parts(keys, vec![1.0f64]);
+    }
+
+    #[test]
+    fn scatter_gather_round_trip_through_merge() {
+        // Two overlapping sets; scatter both into the union; gather each
+        // back and check shared entries accumulated.
+        let a = IndexSet::from_indices([1u64, 2, 3]);
+        let b = IndexSet::from_indices([3u64, 4]);
+        let m = tree_merge(&[a.keys(), b.keys()]);
+        let mut acc = vec![0.0f64; m.union.len()];
+        scatter_combine(&mut acc, &[1.0, 1.0, 1.0], &m.maps[0], SumReducer);
+        scatter_combine(&mut acc, &[2.0, 2.0], &m.maps[1], SumReducer);
+        let back_a = gather(&acc, &m.maps[0]);
+        // Positions of a = indices 1,2,3 in hash order; index 3 has 1+2.
+        let idx3_pos = a.keys().iter().position(|k| k.index == 3).unwrap();
+        assert_eq!(back_a[idx3_pos], 3.0);
+        let total: f64 = acc.iter().sum();
+        assert_eq!(total, 7.0);
+    }
+
+    #[test]
+    fn gather_into_reuses_buffer() {
+        let src = [10.0f64, 20.0, 30.0];
+        let map = [2u32, 0];
+        let mut buf = Vec::with_capacity(8);
+        gather_into(&src, &map, &mut buf);
+        assert_eq!(buf, vec![30.0, 10.0]);
+        gather_into(&src, &[1u32], &mut buf);
+        assert_eq!(buf, vec![20.0]);
+    }
+
+    #[test]
+    fn iter_yields_hash_order() {
+        let v = SparseVec::from_pairs([(5u64, 1.0f64), (6, 2.0), (7, 3.0)], SumReducer);
+        let from_iter: Vec<(u64, f64)> = v.iter().collect();
+        let expect: Vec<(u64, f64)> = v
+            .keys()
+            .indices()
+            .map(|i| (i, v.get(i).unwrap()))
+            .collect();
+        assert_eq!(from_iter, expect);
+    }
+}

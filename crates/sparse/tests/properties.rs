@@ -1,0 +1,111 @@
+//! Property tests on the foundation kernels: merges, splits, maps,
+//! scatter/gather — the algebra the whole protocol rests on.
+
+use kylix_sparse::merge::hash_union;
+use kylix_sparse::vec::{gather, scatter_combine};
+use kylix_sparse::{
+    merge_union, mix64, tree_merge, HashRange, IndexSet, Key, SumReducer,
+};
+use proptest::prelude::*;
+
+fn arb_indices(max_len: usize, universe: u64) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0..universe, 0..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// tree_merge union == hash union for any sets; maps point at the
+    /// right keys; unions are sorted and unique.
+    #[test]
+    fn tree_merge_is_correct_union(
+        raw in prop::collection::vec(arb_indices(60, 300), 0..9)
+    ) {
+        let sets: Vec<Vec<Key>> = raw
+            .iter()
+            .map(|ids| IndexSet::from_indices(ids.iter().copied()).into_keys())
+            .collect();
+        let refs: Vec<&[Key]> = sets.iter().map(|s| s.as_slice()).collect();
+        let r = tree_merge(&refs);
+        prop_assert_eq!(&r.union, &hash_union(&refs));
+        prop_assert!(r.union.windows(2).all(|w| w[0] < w[1]));
+        for (set, map) in refs.iter().zip(&r.maps) {
+            prop_assert_eq!(set.len(), map.len());
+            for (k, &p) in set.iter().zip(map) {
+                prop_assert_eq!(r.union[p as usize], *k);
+            }
+        }
+    }
+
+    /// Scatter-then-gather through merge maps is the identity on each
+    /// input's positions when inputs are disjoint, and the sum of
+    /// inputs at shared keys otherwise.
+    #[test]
+    fn scatter_gather_semantics(
+        a_ids in arb_indices(50, 200),
+        b_ids in arb_indices(50, 200),
+    ) {
+        let a = IndexSet::from_indices(a_ids.iter().copied()).into_keys();
+        let b = IndexSet::from_indices(b_ids.iter().copied()).into_keys();
+        let r = merge_union(&a, &b);
+        let av: Vec<f64> = (0..a.len()).map(|i| i as f64 + 1.0).collect();
+        let bv: Vec<f64> = (0..b.len()).map(|i| (i as f64 + 1.0) * 100.0).collect();
+        let mut acc = vec![0.0f64; r.union.len()];
+        scatter_combine(&mut acc, &av, &r.maps[0], SumReducer);
+        scatter_combine(&mut acc, &bv, &r.maps[1], SumReducer);
+        let back_a = gather(&acc, &r.maps[0]);
+        for (i, k) in a.iter().enumerate() {
+            let b_share = b
+                .iter()
+                .position(|bk| bk == k)
+                .map_or(0.0, |j| bv[j]);
+            prop_assert_eq!(back_a[i], av[i] + b_share);
+        }
+    }
+
+    /// Range splitting at any depth is a partition: every key lands in
+    /// exactly one part, parts are ordered, concatenation is identity.
+    #[test]
+    fn split_partitions_any_set(
+        ids in arb_indices(200, 1_000_000),
+        d in 1usize..12,
+    ) {
+        let set = IndexSet::from_indices(ids.iter().copied());
+        let parts = set.split_by_range(&HashRange::full(), d);
+        let cat: Vec<Key> = parts.iter().flat_map(|p| p.iter().copied()).collect();
+        prop_assert_eq!(cat, set.keys().to_vec());
+        let ranges = HashRange::full().split(d);
+        for (r, p) in ranges.iter().zip(&parts) {
+            for k in *p {
+                prop_assert!(r.contains(k.hash));
+            }
+        }
+    }
+
+    /// part_of agrees with split membership for every key.
+    #[test]
+    fn part_of_matches_split(h in any::<u64>(), d in 1usize..10) {
+        let full = HashRange::full();
+        let idx = full.part_of(h, d);
+        let parts = full.split(d);
+        prop_assert!(parts[idx].contains(h));
+    }
+
+    /// mix64 stays bijective on arbitrary samples.
+    #[test]
+    fn mix64_injective_on_sample(xs in prop::collection::hash_set(any::<u64>(), 0..200)) {
+        let hashed: std::collections::HashSet<u64> = xs.iter().map(|&x| mix64(x)).collect();
+        prop_assert_eq!(hashed.len(), xs.len());
+    }
+
+    /// IndexSet construction is canonical: order and duplicates in the
+    /// input don't matter.
+    #[test]
+    fn index_set_is_canonical(mut ids in arb_indices(100, 500)) {
+        let a = IndexSet::from_indices(ids.iter().copied());
+        ids.reverse();
+        ids.extend(ids.clone()); // duplicates
+        let b = IndexSet::from_indices(ids.iter().copied());
+        prop_assert_eq!(a, b);
+    }
+}
