@@ -25,11 +25,7 @@ pub fn distributed_components<C: Comm>(
     max_rounds: usize,
 ) -> Result<Vec<(u64, u64)>> {
     // Local vertex set = endpoints of local edges.
-    let verts = IndexSet::from_indices(
-        local_edges
-            .iter()
-            .flat_map(|&(s, d)| [s as u64, d as u64]),
-    );
+    let verts = IndexSet::from_indices(local_edges.iter().flat_map(|&(s, d)| [s as u64, d as u64]));
     let vert_ids: Vec<u64> = verts.indices().collect();
     let edge_pos: Vec<(u32, u32)> = local_edges
         .iter()
@@ -119,12 +115,7 @@ mod tests {
         let mut rng = Xoshiro256::new(14);
         // Sparse random graph with several components: ~0.6 edges/vertex.
         let edges: Vec<(u32, u32)> = (0..120)
-            .map(|_| {
-                (
-                    rng.next_below(n) as u32,
-                    rng.next_below(n) as u32,
-                )
-            })
+            .map(|_| (rng.next_below(n) as u32, rng.next_below(n) as u32))
             .collect();
         let expected = components_reference(n, &edges);
         let m = 4;

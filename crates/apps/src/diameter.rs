@@ -52,11 +52,7 @@ pub fn distributed_diameter<C: Comm>(
     seed: u64,
 ) -> Result<DiameterEstimate> {
     let r = sketches as u64;
-    let verts = IndexSet::from_indices(
-        local_edges
-            .iter()
-            .flat_map(|&(s, d)| [s as u64, d as u64]),
-    );
+    let verts = IndexSet::from_indices(local_edges.iter().flat_map(|&(s, d)| [s as u64, d as u64]));
     let vert_ids: Vec<u64> = verts.indices().collect();
     let edge_pos: Vec<(u32, u32)> = local_edges
         .iter()
@@ -237,7 +233,11 @@ mod tests {
             distributed_diameter(&mut comm, &kylix, &mine, 40, 16, 6, 9).unwrap()
         });
         for e in &estimates {
-            assert!(e.effective_diameter <= 2, "star diameter {}", e.effective_diameter);
+            assert!(
+                e.effective_diameter <= 2,
+                "star diameter {}",
+                e.effective_diameter
+            );
         }
     }
 }

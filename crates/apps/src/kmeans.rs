@@ -40,10 +40,7 @@ impl KMeans {
         Self {
             k,
             n_features,
-            centroids: seeds
-                .into_iter()
-                .map(|c| c.into_iter().collect())
-                .collect(),
+            centroids: seeds.into_iter().map(|c| c.into_iter().collect()).collect(),
         }
     }
 
@@ -115,8 +112,7 @@ impl KMeans {
         // the centroid's norm, which the assignment step needs. (For
         // high-dimensional models a support-union pre-exchange would
         // restore sparsity; k·n is small for clustering workloads.)
-        let mut in_idx: Vec<u64> =
-            (0..self.k as u64 * (self.n_features + 1)).collect();
+        let mut in_idx: Vec<u64> = (0..self.k as u64 * (self.n_features + 1)).collect();
         in_idx.extend(sums.keys().copied());
         in_idx.sort_unstable();
         in_idx.dedup();
@@ -139,8 +135,7 @@ impl KMeans {
             if count == 0.0 {
                 continue;
             }
-            let feats: Vec<u64> = self
-                .centroids[c]
+            let feats: Vec<u64> = self.centroids[c]
                 .keys()
                 .copied()
                 .chain(
@@ -209,8 +204,7 @@ pub fn kmeans_reference(
                 .chain(
                     sums.keys()
                         .filter(|&&s| {
-                            s / (n_features + 1) == c as u64
-                                && s % (n_features + 1) != n_features
+                            s / (n_features + 1) == c as u64 && s % (n_features + 1) != n_features
                         })
                         .map(|&s| s % (n_features + 1)),
                 )

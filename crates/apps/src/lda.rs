@@ -71,19 +71,12 @@ impl LdaWorker {
     /// Initialise: tokens get deterministic pseudo-random topics; the
     /// initial global counts are assembled through one push round by
     /// the caller's first `step`.
-    pub fn new(
-        cfg: LdaConfig,
-        rank: usize,
-        m: usize,
-        docs: Vec<Vec<u32>>,
-        seed: u64,
-    ) -> Self {
+    pub fn new(cfg: LdaConfig, rank: usize, m: usize, docs: Vec<Vec<u32>>, seed: u64) -> Self {
         let assign: Vec<Vec<usize>> = docs
             .iter()
             .enumerate()
             .map(|(d, doc)| {
-                let mut rng =
-                    Xoshiro256::new(mix_many(&[seed, 0xA551, rank as u64, d as u64]));
+                let mut rng = Xoshiro256::new(mix_many(&[seed, 0xA551, rank as u64, d as u64]));
                 doc.iter().map(|_| rng.next_index(cfg.k)).collect()
             })
             .collect();
@@ -214,13 +207,9 @@ impl LdaWorker {
                 let mut weights = Vec::with_capacity(cfg.k);
                 let mut acc = 0.0;
                 for k in 0..cfg.k {
-                    let nwk = counts
-                        .get(&cfg.slot(w as u64, k))
-                        .copied()
-                        .unwrap_or(0.0);
+                    let nwk = counts.get(&cfg.slot(w as u64, k)).copied().unwrap_or(0.0);
                     let nk = counts.get(&cfg.total_slot(k)).copied().unwrap_or(0.0);
-                    let p = (self.doc_topic[d][k] + cfg.alpha) * (nwk + cfg.beta)
-                        / (nk + w_beta);
+                    let p = (self.doc_topic[d][k] + cfg.alpha) * (nwk + cfg.beta) / (nk + w_beta);
                     acc += p.max(0.0);
                     weights.push(acc);
                 }
@@ -279,8 +268,7 @@ pub fn lda_reference(
                 .iter()
                 .enumerate()
                 .map(|(d, doc)| {
-                    let mut rng =
-                        Xoshiro256::new(mix_many(&[seed, 0xA551, rank as u64, d as u64]));
+                    let mut rng = Xoshiro256::new(mix_many(&[seed, 0xA551, rank as u64, d as u64]));
                     doc.iter().map(|_| rng.next_index(cfg.k)).collect()
                 })
                 .collect();
@@ -315,25 +303,17 @@ pub fn lda_reference(
         for (rank, docs) in shards.iter().enumerate() {
             let (assign, doc_topic) = &mut workers[rank];
             for (d, (doc, zs)) in docs.iter().zip(assign.iter_mut()).enumerate() {
-                let mut rng = Xoshiro256::new(mix_many(&[
-                    seed,
-                    round as u64,
-                    rank as u64,
-                    d as u64,
-                ]));
+                let mut rng =
+                    Xoshiro256::new(mix_many(&[seed, round as u64, rank as u64, d as u64]));
                 for (&w, z) in doc.iter().zip(zs.iter_mut()) {
                     let old = *z;
                     doc_topic[d][old] -= 1.0;
                     let mut weights = Vec::with_capacity(cfg.k);
                     let mut acc = 0.0;
                     for k in 0..cfg.k {
-                        let nwk = snapshot
-                            .get(&cfg.slot(w as u64, k))
-                            .copied()
-                            .unwrap_or(0.0);
+                        let nwk = snapshot.get(&cfg.slot(w as u64, k)).copied().unwrap_or(0.0);
                         let nk = snapshot.get(&cfg.total_slot(k)).copied().unwrap_or(0.0);
-                        let p = (doc_topic[d][k] + cfg.alpha) * (nwk + cfg.beta)
-                            / (nk + w_beta);
+                        let p = (doc_topic[d][k] + cfg.alpha) * (nwk + cfg.beta) / (nk + w_beta);
                         acc += p.max(0.0);
                         weights.push(acc);
                     }
@@ -440,8 +420,16 @@ mod tests {
         };
         let left: Vec<usize> = (0..10).map(dominant).collect();
         let right: Vec<usize> = (10..20).map(dominant).collect();
-        let left_mode = if left.iter().filter(|&&t| t == 0).count() >= 5 { 0 } else { 1 };
-        let right_mode = if right.iter().filter(|&&t| t == 0).count() >= 5 { 0 } else { 1 };
+        let left_mode = if left.iter().filter(|&&t| t == 0).count() >= 5 {
+            0
+        } else {
+            1
+        };
+        let right_mode = if right.iter().filter(|&&t| t == 0).count() >= 5 {
+            0
+        } else {
+            1
+        };
         assert_ne!(
             left_mode, right_mode,
             "disjoint vocabularies should land in different topics: {left:?} vs {right:?}"

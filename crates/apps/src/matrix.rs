@@ -150,7 +150,10 @@ mod tests {
         let m = DistMatrix::from_triplets(2, 2, [(0u64, 0u64, 1.0), (0, 1, 2.0), (1, 1, 3.0)]);
         // x aligned with col set (hash order!) — map explicitly.
         let cols = m.col_indices();
-        let x: Vec<f64> = cols.iter().map(|&c| if c == 0 { 5.0 } else { 7.0 }).collect();
+        let x: Vec<f64> = cols
+            .iter()
+            .map(|&c| if c == 0 { 5.0 } else { 7.0 })
+            .collect();
         let y = m.multiply(&x);
         let rows = m.row_indices();
         for (i, &r) in rows.iter().enumerate() {

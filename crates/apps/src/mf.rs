@@ -21,7 +21,7 @@
 
 use kylix::{Kylix, Result};
 use kylix_net::Comm;
-use kylix_sparse::{mix64, mix_many, SumReducer, Xoshiro256};
+use kylix_sparse::{mix64, mix_many, SumReducer};
 use std::collections::HashMap;
 
 /// One observed rating.
@@ -133,9 +133,7 @@ impl MfWorker {
         let mut sse = 0.0;
         for r in batch {
             let dot: f64 = (0..cfg.k)
-                .map(|j| {
-                    f[&cfg.user_slot(r.user as u64, j)] * f[&cfg.item_slot(r.item as u64, j)]
-                })
+                .map(|j| f[&cfg.user_slot(r.user as u64, j)] * f[&cfg.item_slot(r.item as u64, j)])
                 .sum();
             let err = r.value - dot;
             sse += err * err;
@@ -152,14 +150,8 @@ impl MfWorker {
         // Push scaled gradients; homes fold updates into storage.
         let g_idx: Vec<u64> = grad.keys().copied().collect();
         let g_val: Vec<f64> = g_idx.iter().map(|s| grad[s] * scale).collect();
-        let (updates, _) = kylix.allreduce_combined(
-            comm,
-            &self.owned,
-            &g_idx,
-            &g_val,
-            SumReducer,
-            channel + 2,
-        )?;
+        let (updates, _) =
+            kylix.allreduce_combined(comm, &self.owned, &g_idx, &g_val, SumReducer, channel + 2)?;
         for (w, u) in self.owned_vals.iter_mut().zip(updates) {
             *w += u;
         }
@@ -187,9 +179,7 @@ pub fn mf_reference(
     seed: u64,
     rounds: usize,
 ) -> HashMap<u64, f64> {
-    let mut w: HashMap<u64, f64> = (0..cfg.n_slots())
-        .map(|s| (s, cfg.init(s, seed)))
-        .collect();
+    let mut w: HashMap<u64, f64> = (0..cfg.n_slots()).map(|s| (s, cfg.init(s, seed))).collect();
     for _ in 0..rounds {
         let mut update: HashMap<u64, f64> = HashMap::new();
         for batch in shards {
@@ -197,8 +187,7 @@ pub fn mf_reference(
             for r in batch {
                 let dot: f64 = (0..cfg.k)
                     .map(|j| {
-                        w[&cfg.user_slot(r.user as u64, j)]
-                            * w[&cfg.item_slot(r.item as u64, j)]
+                        w[&cfg.user_slot(r.user as u64, j)] * w[&cfg.item_slot(r.item as u64, j)]
                     })
                     .sum();
                 let err = r.value - dot;
@@ -206,10 +195,8 @@ pub fn mf_reference(
                     let us = cfg.user_slot(r.user as u64, j);
                     let is = cfg.item_slot(r.item as u64, j);
                     let (u, v) = (w[&us], w[&is]);
-                    *update.entry(us).or_insert(0.0) +=
-                        (-2.0 * err * v + 2.0 * cfg.l2 * u) * scale;
-                    *update.entry(is).or_insert(0.0) +=
-                        (-2.0 * err * u + 2.0 * cfg.l2 * v) * scale;
+                    *update.entry(us).or_insert(0.0) += (-2.0 * err * v + 2.0 * cfg.l2 * u) * scale;
+                    *update.entry(is).or_insert(0.0) += (-2.0 * err * u + 2.0 * cfg.l2 * v) * scale;
                 }
             }
         }
@@ -225,6 +212,7 @@ mod tests {
     use super::*;
     use kylix::NetworkPlan;
     use kylix_net::LocalCluster;
+    use kylix_sparse::Xoshiro256;
 
     fn cfg() -> MfConfig {
         MfConfig {
@@ -237,13 +225,18 @@ mod tests {
     }
 
     /// Planted rank-`k` ratings: R = P·Qᵀ with known P, Q.
-    fn planted_ratings(c: &MfConfig, per_shard: usize, shards: usize, seed: u64) -> Vec<Vec<Rating>> {
-        let p = |u: u64, j: usize| ((mix_many(&[7, u, j as u64]) >> 11) as f64
-            / (1u64 << 53) as f64)
-            - 0.5;
-        let q = |i: u64, j: usize| ((mix_many(&[13, i, j as u64]) >> 11) as f64
-            / (1u64 << 53) as f64)
-            - 0.5;
+    fn planted_ratings(
+        c: &MfConfig,
+        per_shard: usize,
+        shards: usize,
+        seed: u64,
+    ) -> Vec<Vec<Rating>> {
+        let p = |u: u64, j: usize| {
+            ((mix_many(&[7, u, j as u64]) >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let q = |i: u64, j: usize| {
+            ((mix_many(&[13, i, j as u64]) >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
         (0..shards)
             .map(|mc| {
                 let mut rng = Xoshiro256::new(mix_many(&[seed, mc as u64]));
@@ -251,8 +244,9 @@ mod tests {
                     .map(|_| {
                         let user = rng.next_below(c.n_users) as u32;
                         let item = rng.next_below(c.n_items) as u32;
-                        let value: f64 =
-                            (0..c.k).map(|j| p(user as u64, j) * q(item as u64, j)).sum();
+                        let value: f64 = (0..c.k)
+                            .map(|j| p(user as u64, j) * q(item as u64, j))
+                            .sum();
                         Rating { user, item, value }
                     })
                     .collect()

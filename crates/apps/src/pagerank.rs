@@ -204,7 +204,11 @@ mod tests {
                 .ranks
         });
         for logical in 0..4 {
-            assert_eq!(outcomes[logical], outcomes[logical + 4], "replica divergence");
+            assert_eq!(
+                outcomes[logical],
+                outcomes[logical + 4],
+                "replica divergence"
+            );
         }
     }
 }

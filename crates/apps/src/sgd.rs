@@ -68,10 +68,7 @@ impl SgdWorker {
 
     /// Current weight of a feature homed here (tests / inspection).
     pub fn home_weight(&self, f: u64) -> Option<f64> {
-        self.owned
-            .binary_search(&f)
-            .ok()
-            .map(|p| self.weights[p])
+        self.owned.binary_search(&f).ok().map(|p| self.weights[p])
     }
 
     /// The owned `(feature, weight)` shard.
@@ -196,9 +193,8 @@ mod tests {
             .map(|r| {
                 (0..machines)
                     .map(|mc| {
-                        let mut rng = Xoshiro256::new(kylix_sparse::mix_many(&[
-                            seed, r as u64, mc as u64,
-                        ]));
+                        let mut rng =
+                            Xoshiro256::new(kylix_sparse::mix_many(&[seed, r as u64, mc as u64]));
                         (0..per_batch)
                             .map(|_| {
                                 let k = 2 + rng.next_index(5);

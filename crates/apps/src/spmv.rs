@@ -47,14 +47,8 @@ pub fn distributed_spmv<C: Comm>(
     // Round 2: assemble y. Requested rows nobody's share produces read
     // as 0 (the sum identity) — empty rows of A.
     let rows = share.row_indices();
-    let (y, _) = kylix.allreduce_combined(
-        comm,
-        y_request,
-        &rows,
-        &y_local,
-        SumReducer,
-        channel + 2,
-    )?;
+    let (y, _) =
+        kylix.allreduce_combined(comm, y_request, &rows, &y_local, SumReducer, channel + 2)?;
     Ok(y)
 }
 
@@ -66,11 +60,7 @@ mod tests {
     use kylix_sparse::Xoshiro256;
 
     /// Dense reference multiply of scattered triplets.
-    fn dense_reference(
-        n: usize,
-        triplets: &[(u64, u64, f64)],
-        x: &[f64],
-    ) -> Vec<f64> {
+    fn dense_reference(n: usize, triplets: &[(u64, u64, f64)], x: &[f64]) -> Vec<f64> {
         let mut y = vec![0.0; n];
         for &(r, c, v) in triplets {
             y[r as usize] += v * x[c as usize];
@@ -116,8 +106,7 @@ mod tests {
                 .collect();
             let y_request: Vec<u64> = (0..n as u64).filter(|v| v % 3 == me as u64 % 3).collect();
             let kylix = Kylix::new(NetworkPlan::new(&[2, 2]));
-            let y = distributed_spmv(&mut comm, &kylix, &share, &x_contrib, &y_request, 0)
-                .unwrap();
+            let y = distributed_spmv(&mut comm, &kylix, &share, &x_contrib, &y_request, 0).unwrap();
             (y_request, y)
         });
         for (req, y) in results {
@@ -142,11 +131,7 @@ mod tests {
             } else {
                 DistMatrix::from_triplets(n, n, [])
             };
-            let x_contrib: Vec<(u64, f64)> = if me == 0 {
-                vec![(1, 3.0)]
-            } else {
-                Vec::new()
-            };
+            let x_contrib: Vec<(u64, f64)> = if me == 0 { vec![(1, 3.0)] } else { Vec::new() };
             let kylix = Kylix::new(NetworkPlan::direct(2));
             distributed_spmv(&mut comm, &kylix, &share, &x_contrib, &[0u64], 0).unwrap()
         });

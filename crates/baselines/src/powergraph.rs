@@ -115,7 +115,9 @@ impl GasEngine {
             }
             let payload = comm.recv(p, t_sub).map_err(comm_err("gas setup subs"))?;
             sub_lists[p] = kylix::codec::decode_keys(&payload)?;
-            let payload = comm.recv(p, t_con).map_err(comm_err("gas setup contribs"))?;
+            let payload = comm
+                .recv(p, t_con)
+                .map_err(comm_err("gas setup contribs"))?;
             con_lists[p] = kylix::codec::decode_keys(&payload)?;
         }
 
@@ -259,11 +261,14 @@ impl GasEngine {
             let mut buf = Vec::with_capacity(16 + keys.len() * 16);
             kylix::codec::put_keys(&mut buf, &keys);
             kylix::codec::put_values(&mut buf, &vals);
-            comm.send(p, t_g, bytes::Bytes::from(buf));
+            comm.send(p, t_g, kylix::codec::seal(buf));
         }
         let mut acc = vec![0.0f64; self.mastered.len()];
         // Self contributions use the local tables directly.
-        for (&mp, &dp) in self.contributor_maps[me].iter().zip(&self.dst_send_maps[me]) {
+        for (&mp, &dp) in self.contributor_maps[me]
+            .iter()
+            .zip(&self.dst_send_maps[me])
+        {
             acc[mp as usize] += partial[dp as usize];
         }
         for p in 0..self.m {
@@ -271,7 +276,8 @@ impl GasEngine {
                 continue;
             }
             let payload = comm.recv(p, t_g).map_err(comm_err("gas gather"))?;
-            let mut dec = kylix::codec::Decoder::new(&payload);
+            let mut dec = kylix::codec::Decoder::new(&payload)
+                .map_err(kylix::error::surface_corrupt("gas gather", p, t_g))?;
             let keys = dec.keys()?;
             let vals: Vec<f64> = dec.values()?;
             if keys.len() != vals.len() {
@@ -308,7 +314,7 @@ impl GasEngine {
             let mut buf = Vec::with_capacity(16 + keys.len() * 16);
             kylix::codec::put_keys(&mut buf, &keys);
             kylix::codec::put_values(&mut buf, &vals);
-            comm.send(p, t_s, bytes::Bytes::from(buf));
+            comm.send(p, t_s, kylix::codec::seal(buf));
         }
         for (&sp, &mp) in self.src_recv_maps[me].iter().zip(&self.subscriber_maps[me]) {
             self.src_rank[sp as usize] = self.master_rank[mp as usize];
@@ -318,7 +324,8 @@ impl GasEngine {
                 continue;
             }
             let payload = comm.recv(p, t_s).map_err(comm_err("gas scatter"))?;
-            let mut dec = kylix::codec::Decoder::new(&payload);
+            let mut dec = kylix::codec::Decoder::new(&payload)
+                .map_err(kylix::error::surface_corrupt("gas scatter", p, t_s))?;
             let keys = dec.keys()?;
             let vals: Vec<f64> = dec.values()?;
             for (k, v) in keys.iter().zip(vals) {
@@ -365,7 +372,9 @@ mod tests {
             let me = comm.rank();
             let mut engine = GasEngine::setup(&mut comm, 200, &parts[me].edges, 0).unwrap();
             for it in 0..iters {
-                engine.pagerank_step(&mut comm, 0.85, it as u32 + 1).unwrap();
+                engine
+                    .pagerank_step(&mut comm, 0.85, it as u32 + 1)
+                    .unwrap();
             }
             engine.mastered_ranks()
         });
@@ -391,7 +400,11 @@ mod tests {
         let mastered: Vec<Vec<u64>> = LocalCluster::run(3, |mut comm| {
             let me = comm.rank();
             let engine = GasEngine::setup(&mut comm, 100, &parts[me].edges, 0).unwrap();
-            engine.mastered_ranks().into_iter().map(|(v, _)| v).collect()
+            engine
+                .mastered_ranks()
+                .into_iter()
+                .map(|(v, _)| v)
+                .collect()
         });
         let mut all: Vec<u64> = mastered.iter().flatten().copied().collect();
         let total = all.len();

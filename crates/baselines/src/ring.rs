@@ -54,7 +54,9 @@ where
         let recv_b = (me + m - s - 1) % m;
         let tag = Tag::new(Phase::App, 0, channel.wrapping_add(s as u32));
         comm.send(next, tag, encode_values(&values[block(n, m, send_b)]));
-        let payload = comm.recv(prev, tag).map_err(comm_err("ring reduce-scatter"))?;
+        let payload = comm
+            .recv(prev, tag)
+            .map_err(comm_err("ring reduce-scatter"))?;
         let incoming: Vec<V> = decode_values(&payload)?;
         let r = block(n, m, recv_b);
         debug_assert_eq!(incoming.len(), r.len());

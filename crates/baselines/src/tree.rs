@@ -9,8 +9,8 @@
 //! measure exactly that: the root's union is far larger than any leaf's
 //! set, and the broadcast volume is the whole vector per node.
 
-use kylix::codec::{put_keys, put_values, Decoder};
-use kylix::error::{comm_err, Result};
+use kylix::codec::{put_keys, put_values, seal, Decoder};
+use kylix::error::{comm_err, surface_corrupt, Result};
 use kylix_net::{Comm, Phase, Tag};
 use kylix_sparse::vec::scatter_combine;
 use kylix_sparse::{tree_merge, IndexSet, Key, Reducer, Scalar};
@@ -60,7 +60,7 @@ where
             continue;
         }
         let payload = comm.recv(child, up_tag).map_err(comm_err("tree up"))?;
-        let mut dec = Decoder::new(&payload);
+        let mut dec = Decoder::new(&payload).map_err(surface_corrupt("tree up", child, up_tag))?;
         let ckeys = dec.keys()?;
         let cvals: Vec<V> = dec.values()?;
         let merged = tree_merge(&[&keys, &ckeys]);
@@ -76,7 +76,7 @@ where
         let mut buf = Vec::new();
         put_keys(&mut buf, &keys);
         put_values(&mut buf, &vals);
-        comm.send(parent, up_tag, bytes::Bytes::from(buf));
+        comm.send(parent, up_tag, seal(buf));
     }
 
     // Broadcast the full reduction down the same tree.
@@ -85,7 +85,8 @@ where
     } else {
         let parent = (me - 1) / 2;
         let payload = comm.recv(parent, down_tag).map_err(comm_err("tree down"))?;
-        let mut dec = Decoder::new(&payload);
+        let mut dec =
+            Decoder::new(&payload).map_err(surface_corrupt("tree down", parent, down_tag))?;
         let k = dec.keys()?;
         let v: Vec<V> = dec.values()?;
         (k, v)
@@ -97,7 +98,7 @@ where
         let mut buf = Vec::new();
         put_keys(&mut buf, &keys);
         put_values(&mut buf, &vals);
-        comm.send(child, down_tag, bytes::Bytes::from(buf));
+        comm.send(child, down_tag, seal(buf));
     }
 
     // Serve the caller's requests from the full vector.

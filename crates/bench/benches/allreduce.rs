@@ -35,14 +35,7 @@ fn bench_combined(c: &mut Criterion) {
                         let me = comm.rank();
                         let vals = vec![1.0f64; idx[me].len()];
                         Kylix::new(plan.clone())
-                            .allreduce_combined(
-                                &mut comm,
-                                &idx[me],
-                                &idx[me],
-                                &vals,
-                                SumReducer,
-                                0,
-                            )
+                            .allreduce_combined(&mut comm, &idx[me], &idx[me], &vals, SumReducer, 0)
                             .unwrap()
                             .0
                     });

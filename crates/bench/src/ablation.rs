@@ -116,8 +116,14 @@ impl<C: Comm> Comm for PinnedReplicaComm<C> {
         tag: Tag,
         timeout: Duration,
     ) -> Result<Bytes, CommError> {
-        // No race: always wait for the primary copy.
-        self.inner.recv_timeout(from, tag, timeout)
+        // No race: always wait for the primary copy, then cancel the
+        // other replicas' duplicates so the stash stays bounded.
+        let payload = self.inner.recv_timeout(from, tag, timeout)?;
+        let siblings: Vec<usize> = (1..self.replication)
+            .map(|r| from + r * self.logical_size)
+            .collect();
+        self.inner.discard(&siblings, tag);
+        Ok(payload)
     }
     fn recv_any_timeout(
         &mut self,
@@ -125,9 +131,22 @@ impl<C: Comm> Comm for PinnedReplicaComm<C> {
         tag: Tag,
         timeout: Duration,
     ) -> Result<(usize, Bytes), CommError> {
-        self.inner
-            .recv_any_timeout(sources, tag, timeout)
-            .map(|(src, p)| (src % self.logical_size, p))
+        let (src, p) = self.inner.recv_any_timeout(sources, tag, timeout)?;
+        let logical = src % self.logical_size;
+        let siblings: Vec<usize> = (0..self.replication)
+            .map(|r| logical + r * self.logical_size)
+            .filter(|&r| r != src)
+            .collect();
+        self.inner.discard(&siblings, tag);
+        Ok((logical, p))
+    }
+    fn discard(&mut self, sources: &[usize], tag: Tag) {
+        let (rep, logical) = (self.replication, self.logical_size);
+        let physical: Vec<usize> = sources
+            .iter()
+            .flat_map(|&s| (0..rep).map(move |r| s + r * logical))
+            .collect();
+        self.inner.discard(&physical, tag);
     }
     fn now(&self) -> f64 {
         self.inner.now()
@@ -215,8 +234,7 @@ pub fn sparse_vs_dense(scale: u64, seed: u64) -> Vec<AblationRow> {
             .unwrap();
         state.down_volume_elems().iter().sum::<usize>() * 2 // down + up
     });
-    let sparse_bytes =
-        per_node.iter().sum::<usize>() as f64 / m as f64 * ELEM_BYTES as f64;
+    let sparse_bytes = per_node.iter().sum::<usize>() as f64 / m as f64 * ELEM_BYTES as f64;
     let dense_bytes = ring_volume_elems(w.model.n as usize, m) as f64 * ELEM_BYTES as f64;
     vec![
         AblationRow {

@@ -1,13 +1,17 @@
 //! Regenerate every table and figure of the Kylix paper's evaluation.
 //!
 //! ```text
-//! figures [fig2|fig4|fig5|fig6|fig7|table1|fig8|fig9|all] [--scale N] [--seed N] [--json PATH]
+//! figures [fig2|fig4|fig5|fig6|fig7|table1|fig8|fig9|faults|all] \
+//!     [--scale N] [--seed N] [--quick] [--json PATH]
 //! ```
 //!
 //! Each experiment prints an aligned text table; `--json` additionally
 //! dumps machine-readable rows (used to refresh EXPERIMENTS.md).
+//! `--quick` trims the fault sweep to its CI-smoke subset.
 
-use kylix_bench::{ablation, fig2, fig4, fig5, fig6, fig7, fig8, fig9, print_table, table1};
+use kylix_bench::{
+    ablation, fault_sweep, fig2, fig4, fig5, fig6, fig7, fig8, fig9, print_table, table1,
+};
 use std::collections::BTreeMap;
 
 #[derive(Debug)]
@@ -15,6 +19,7 @@ struct Args {
     which: Vec<String>,
     scale: u64,
     seed: u64,
+    quick: bool,
     json: Option<String>,
 }
 
@@ -22,17 +27,19 @@ fn parse_args() -> Args {
     let mut which = Vec::new();
     let mut scale = 4000;
     let mut seed = 7;
+    let mut quick = false;
     let mut json = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--scale" => scale = it.next().expect("--scale N").parse().expect("scale"),
             "--seed" => seed = it.next().expect("--seed N").parse().expect("seed"),
+            "--quick" => quick = true,
             "--json" => json = Some(it.next().expect("--json PATH")),
             "-h" | "--help" => {
                 eprintln!(
-                    "usage: figures [fig2|fig4|fig5|fig6|fig7|table1|fig8|fig9|all]… \
-                     [--scale N] [--seed N] [--json PATH]"
+                    "usage: figures [fig2|fig4|fig5|fig6|fig7|table1|fig8|fig9|faults|all]… \
+                     [--scale N] [--seed N] [--quick] [--json PATH]"
                 );
                 std::process::exit(0);
             }
@@ -41,7 +48,16 @@ fn parse_args() -> Args {
     }
     if which.is_empty() || which.iter().any(|w| w == "all") {
         which = [
-            "fig2", "fig4", "fig5", "fig6", "fig7", "table1", "fig8", "fig9", "ablations",
+            "fig2",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "table1",
+            "fig8",
+            "fig9",
+            "ablations",
+            "faults",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -51,6 +67,7 @@ fn parse_args() -> Args {
         which,
         scale,
         seed,
+        quick,
         json,
     }
 }
@@ -129,14 +146,10 @@ fn main() {
             "fig5" => {
                 let profiles = fig5::run(args.scale, args.seed);
                 for p in &profiles {
-                    let degrees: Vec<String> =
-                        p.degrees.iter().map(|d| d.to_string()).collect();
+                    let degrees: Vec<String> = p.degrees.iter().map(|d| d.to_string()).collect();
                     let mut rows = Vec::new();
-                    for (l, (&m, &pr)) in p
-                        .measured_bytes
-                        .iter()
-                        .zip(&p.predicted_bytes)
-                        .enumerate()
+                    for (l, (&m, &pr)) in
+                        p.measured_bytes.iter().zip(&p.predicted_bytes).enumerate()
                     {
                         rows.push(vec![
                             format!("layer {}", l + 1),
@@ -343,6 +356,45 @@ fn main() {
                             "variant": r.variant,
                             "value": r.value,
                             "unit": r.unit,
+                        }))
+                        .collect::<Vec<_>>()),
+                );
+            }
+            "faults" => {
+                let rows = fault_sweep::run(args.scale, args.seed, args.quick);
+                print_table(
+                    "Fault sweep — completion and overhead under injected failures",
+                    &[
+                        "scenario", "faults", "done", "correct", "time s", "overhead", "rexmit",
+                    ],
+                    &rows
+                        .iter()
+                        .map(|r| {
+                            vec![
+                                r.scenario.to_string(),
+                                r.detail.clone(),
+                                format!("{}/{}", r.completed, r.total),
+                                if r.correct { "yes" } else { "NO" }.to_string(),
+                                format!("{:.4}", r.time),
+                                format!("{:.2}x", r.overhead),
+                                r.retransmits.to_string(),
+                            ]
+                        })
+                        .collect::<Vec<_>>(),
+                );
+                json_out.insert(
+                    "faults".into(),
+                    serde_json::json!(rows
+                        .iter()
+                        .map(|r| serde_json::json!({
+                            "scenario": r.scenario,
+                            "detail": r.detail,
+                            "completed": r.completed,
+                            "total": r.total,
+                            "correct": r.correct,
+                            "time": r.time,
+                            "overhead": r.overhead,
+                            "retransmits": r.retransmits,
                         }))
                         .collect::<Vec<_>>()),
                 );

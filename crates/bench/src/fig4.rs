@@ -62,7 +62,11 @@ mod tests {
                         .unwrap()
                 })
                 .unwrap();
-            assert!((at1.density - 0.9).abs() < 0.03, "alpha {alpha}: {}", at1.density);
+            assert!(
+                (at1.density - 0.9).abs() < 0.03,
+                "alpha {alpha}: {}",
+                at1.density
+            );
         }
     }
 

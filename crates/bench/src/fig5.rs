@@ -71,8 +71,7 @@ pub fn profile(workload: &VectorWorkload, degrees: &[usize]) -> Fig5Profile {
         .iter()
         .map(|p| p.elems_per_node * m as f64 * elem_bytes as f64)
         .collect();
-    let predicted_bottom =
-        preds[layers].elems_per_node * m as f64 * elem_bytes as f64;
+    let predicted_bottom = preds[layers].elems_per_node * m as f64 * elem_bytes as f64;
 
     Fig5Profile {
         dataset: workload.name.clone(),
@@ -88,10 +87,7 @@ pub fn profile(workload: &VectorWorkload, degrees: &[usize]) -> Fig5Profile {
 pub fn run(scale: u64, seed: u64) -> Vec<Fig5Profile> {
     let twitter = VectorWorkload::twitter_like(64, scale, seed);
     let yahoo = VectorWorkload::yahoo_like(64, scale, seed + 1);
-    vec![
-        profile(&twitter, &[8, 4, 2]),
-        profile(&yahoo, &[16, 4]),
-    ]
+    vec![profile(&twitter, &[8, 4, 2]), profile(&yahoo, &[16, 4])]
 }
 
 #[cfg(test)]
@@ -116,12 +112,7 @@ mod tests {
     #[test]
     fn measured_matches_prop41_prediction() {
         for p in run(4000, 7) {
-            for (l, (&m, &pr)) in p
-                .measured_bytes
-                .iter()
-                .zip(&p.predicted_bytes)
-                .enumerate()
-            {
+            for (l, (&m, &pr)) in p.measured_bytes.iter().zip(&p.predicted_bytes).enumerate() {
                 let rel = (m as f64 - pr).abs() / pr;
                 assert!(
                     rel < 0.15,
@@ -139,9 +130,8 @@ mod tests {
         // Paper: "The Twitter graph shrinks very fast at lower layers …
         // for the Yahoo graph the volume shrinking is less significant."
         let profiles = run(4000, 11);
-        let shrink = |p: &Fig5Profile| -> f64 {
-            p.bottom_bytes as f64 / p.measured_bytes[0] as f64
-        };
+        let shrink =
+            |p: &Fig5Profile| -> f64 { p.bottom_bytes as f64 / p.measured_bytes[0] as f64 };
         let twitter = shrink(&profiles[0]);
         let yahoo = shrink(&profiles[1]);
         assert!(

@@ -95,9 +95,8 @@ fn time_kylix(
     let times: Vec<(f64, f64)> = cluster.run_all(|mut comm| {
         let me = comm.rank();
         let kylix = Kylix::new(NetworkPlan::new(degrees));
-        let out =
-            distributed_pagerank(&mut comm, &kylix, spec.n_vertices, &parts[me].edges, &cfg)
-                .unwrap();
+        let out = distributed_pagerank(&mut comm, &kylix, spec.n_vertices, &parts[me].edges, &cfg)
+            .unwrap();
         (out.config_time, comm.now())
     });
     let config_end = times.iter().map(|t| t.0).fold(0.0, f64::max);
@@ -123,7 +122,9 @@ fn time_gas(
         let setup_end = comm.now();
         for it in 0..iters {
             comm.charge_compute(compute_per_edge * edges.len() as f64);
-            engine.pagerank_step(&mut comm, 0.85, it as u32 + 1).unwrap();
+            engine
+                .pagerank_step(&mut comm, 0.85, it as u32 + 1)
+                .unwrap();
         }
         (setup_end, comm.now())
     });
@@ -186,10 +187,7 @@ mod tests {
         for ds in ["twitter-like", "yahoo-like"] {
             let k = by(&rows, ds, "kylix");
             let g = by(&rows, ds, "powergraph-style");
-            assert!(
-                g > k * 1.2,
-                "{ds}: powergraph {g} should exceed kylix {k}"
-            );
+            assert!(g > k * 1.2, "{ds}: powergraph {g} should exceed kylix {k}");
         }
     }
 
@@ -199,11 +197,7 @@ mod tests {
         for ds in ["twitter-like", "yahoo-like"] {
             let k = by(&rows, ds, "kylix");
             let h = by(&rows, ds, "hadoop/pegasus");
-            assert!(
-                h / k > 50.0,
-                "{ds}: hadoop/kylix ratio only {:.1}",
-                h / k
-            );
+            assert!(h / k > 50.0, "{ds}: hadoop/kylix ratio only {:.1}", h / k);
         }
     }
 

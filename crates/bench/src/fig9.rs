@@ -63,12 +63,15 @@ pub fn run_dataset(spec: &DatasetSpec, scale: u64, seed: u64, iters: usize) -> V
             let out =
                 distributed_pagerank(&mut comm, &kylix, spec.n_vertices, &parts[me].edges, &cfg)
                     .unwrap();
-            (out.compute_time, out.comm_time, comm.now() - out.config_time)
+            (
+                out.compute_time,
+                out.comm_time,
+                comm.now() - out.config_time,
+            )
         });
         let compute =
             outcomes.iter().map(|o| o.0).fold(0.0, f64::max) / iters as f64 * scale as f64;
-        let comm_t =
-            outcomes.iter().map(|o| o.1).fold(0.0, f64::max) / iters as f64 * scale as f64;
+        let comm_t = outcomes.iter().map(|o| o.1).fold(0.0, f64::max) / iters as f64 * scale as f64;
         let total = compute + comm_t;
         let speedup = rows
             .first()
@@ -89,7 +92,12 @@ pub fn run_dataset(spec: &DatasetSpec, scale: u64, seed: u64, iters: usize) -> V
 /// Both datasets.
 pub fn run(scale: u64, seed: u64) -> Vec<Fig9Row> {
     let mut rows = run_dataset(&DatasetSpec::twitter_like(scale), scale, seed, 2);
-    rows.extend(run_dataset(&DatasetSpec::yahoo_like(scale), scale, seed + 9, 2));
+    rows.extend(run_dataset(
+        &DatasetSpec::yahoo_like(scale),
+        scale,
+        seed + 9,
+        2,
+    ));
     rows
 }
 

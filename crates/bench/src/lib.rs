@@ -23,8 +23,8 @@
 //! implements this; EXPERIMENTS.md documents it per experiment.
 
 pub mod ablation;
+pub mod fault_sweep;
 pub mod fig2;
-pub mod workload;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
@@ -33,6 +33,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod scaling;
 pub mod table1;
+pub mod workload;
 
 /// Render a sequence of (label, value) pairs as an aligned text table.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
@@ -53,7 +54,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     };
     let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
     println!("{}", fmt_row(&header_cells));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }

@@ -100,13 +100,14 @@ mod tests {
     #[test]
     fn twitter_workload_hits_density_and_volume_at_64() {
         let w = VectorWorkload::twitter_like(64, 4000, 1);
-        assert!((w.mean_density() - 0.21).abs() < 0.02, "{}", w.mean_density());
+        assert!(
+            (w.mean_density() - 0.21).abs() < 0.02,
+            "{}",
+            w.mean_density()
+        );
         let want = 25.6e6 / 4000.0;
         let got = w.mean_volume_bytes();
-        assert!(
-            (got - want).abs() / want < 0.1,
-            "volume {got} vs {want}"
-        );
+        assert!((got - want).abs() / want < 0.1, "volume {got} vs {want}");
     }
 
     #[test]

@@ -15,19 +15,43 @@
 //! * **combined records** (minibatch mode, §III: "configuration and
 //!   reduction concurrently with combined network messages"): an index
 //!   list, its values, and the in-request index list, concatenated.
+//!
+//! Every payload is **sealed**: an 8-byte FNV-1a checksum of the body is
+//! appended by [`seal`] (and by the `encode_*` helpers) and verified by
+//! [`Decoder::new`] before any field is parsed. A flipped bit in a value
+//! vector would otherwise be *silently reduced* into every downstream
+//! node's result — an allreduce amplifies corruption — so detection must
+//! sit below the protocol, where every message passes through. A
+//! mismatch decodes to [`KylixError::Codec`] with
+//! [`CHECKSUM_MISMATCH`], which the protocol layers re-surface as
+//! `CommError::Corrupt` with the sender's identity attached.
 
 use crate::error::{KylixError, Result};
 use bytes::Bytes;
+use kylix_net::checksum;
 use kylix_sparse::{Key, Scalar};
 
-/// Encode a key slice as a raw index list.
-pub fn encode_keys(keys: &[Key]) -> Bytes {
-    let mut buf = Vec::with_capacity(8 + keys.len() * 8);
-    buf.extend_from_slice(&(keys.len() as u64).to_le_bytes());
-    for k in keys {
-        buf.extend_from_slice(&k.index.to_le_bytes());
-    }
+/// Bytes the seal appends to every payload.
+pub const SEAL_LEN: usize = 8;
+
+/// `what` string of the [`KylixError::Codec`] raised when a payload
+/// fails checksum verification. Protocol layers match on it to convert
+/// decode failures into `CommError::Corrupt`.
+pub const CHECKSUM_MISMATCH: &str = "payload checksum mismatch";
+
+/// Finalise a wire buffer: append the FNV-1a checksum of its contents.
+/// Every `comm.send` payload built with `put_*` must go through this.
+pub fn seal(mut buf: Vec<u8>) -> Bytes {
+    let sum = checksum(&buf);
+    buf.extend_from_slice(&sum.to_le_bytes());
     Bytes::from(buf)
+}
+
+/// Encode a key slice as a sealed index list.
+pub fn encode_keys(keys: &[Key]) -> Bytes {
+    let mut buf = Vec::with_capacity(8 + keys.len() * 8 + SEAL_LEN);
+    put_keys(&mut buf, keys);
+    seal(buf)
 }
 
 /// Append an index list to an existing buffer (combined messages).
@@ -46,16 +70,31 @@ pub fn put_values<V: Scalar>(buf: &mut Vec<u8>, vals: &[V]) {
     }
 }
 
-/// A cursor over a received buffer.
+/// A cursor over the body of a received (and verified) buffer.
 pub struct Decoder<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Decoder<'a> {
-    /// Start decoding a payload.
-    pub fn new(buf: &'a [u8]) -> Self {
-        Self { buf, pos: 0 }
+    /// Verify a sealed payload and start decoding its body. Fails with
+    /// [`CHECKSUM_MISMATCH`] if the trailing checksum does not match the
+    /// body (corruption in flight) or the buffer is too short to carry
+    /// one (truncation).
+    pub fn new(buf: &'a [u8]) -> Result<Self> {
+        if buf.len() < SEAL_LEN {
+            return Err(KylixError::Codec {
+                what: CHECKSUM_MISMATCH,
+            });
+        }
+        let (body, tail) = buf.split_at(buf.len() - SEAL_LEN);
+        let want = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+        if checksum(body) != want {
+            return Err(KylixError::Codec {
+                what: CHECKSUM_MISMATCH,
+            });
+        }
+        Ok(Self { buf: body, pos: 0 })
     }
 
     fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8]> {
@@ -96,7 +135,7 @@ impl<'a> Decoder<'a> {
         Ok(raw.chunks_exact(V::WIDTH).map(V::read_le).collect())
     }
 
-    /// All bytes consumed?
+    /// All body bytes consumed?
     pub fn finished(&self) -> bool {
         self.pos == self.buf.len()
     }
@@ -104,7 +143,7 @@ impl<'a> Decoder<'a> {
 
 /// Decode a standalone index list.
 pub fn decode_keys(buf: &[u8]) -> Result<Vec<Key>> {
-    let mut d = Decoder::new(buf);
+    let mut d = Decoder::new(buf)?;
     let keys = d.keys()?;
     if !d.finished() {
         return Err(KylixError::Codec {
@@ -114,16 +153,16 @@ pub fn decode_keys(buf: &[u8]) -> Result<Vec<Key>> {
     Ok(keys)
 }
 
-/// Encode a standalone value vector.
+/// Encode a standalone value vector (sealed).
 pub fn encode_values<V: Scalar>(vals: &[V]) -> Bytes {
-    let mut buf = Vec::with_capacity(8 + vals.len() * V::WIDTH);
+    let mut buf = Vec::with_capacity(8 + vals.len() * V::WIDTH + SEAL_LEN);
     put_values(&mut buf, vals);
-    Bytes::from(buf)
+    seal(buf)
 }
 
 /// Decode a standalone value vector.
 pub fn decode_values<V: Scalar>(buf: &[u8]) -> Result<Vec<V>> {
-    let mut d = Decoder::new(buf);
+    let mut d = Decoder::new(buf)?;
     let vals = d.values()?;
     if !d.finished() {
         return Err(KylixError::Codec {
@@ -171,7 +210,8 @@ mod tests {
         put_keys(&mut buf, out.keys());
         put_values(&mut buf, &vals);
         put_keys(&mut buf, inn.keys());
-        let mut d = Decoder::new(&buf);
+        let sealed = seal(buf);
+        let mut d = Decoder::new(&sealed).unwrap();
         assert_eq!(d.keys().unwrap(), out.keys());
         assert_eq!(d.values::<f64>().unwrap(), vals);
         assert_eq!(d.keys().unwrap(), inn.keys());
@@ -189,13 +229,41 @@ mod tests {
     fn oversized_count_errors() {
         let mut buf = u64::MAX.to_le_bytes().to_vec();
         buf.extend_from_slice(&[0u8; 16]);
-        assert!(decode_keys(&buf).is_err());
+        assert!(decode_keys(&seal(buf)).is_err());
     }
 
     #[test]
     fn trailing_garbage_errors() {
-        let mut buf = encode_keys(&[]).to_vec();
+        let mut buf = Vec::new();
+        put_keys(&mut buf, &[]);
         buf.push(0xFF);
-        assert!(decode_keys(&buf).is_err());
+        assert!(decode_keys(&seal(buf)).is_err());
+    }
+
+    #[test]
+    fn single_bit_flip_is_detected_anywhere() {
+        let vals = vec![1.0f64, 2.0, 3.0, 4.0];
+        let enc = encode_values(&vals).to_vec();
+        for byte in 0..enc.len() {
+            for bit in 0..8 {
+                let mut bad = enc.clone();
+                bad[byte] ^= 1 << bit;
+                let err = decode_values::<f64>(&bad).unwrap_err();
+                assert_eq!(
+                    err,
+                    KylixError::Codec {
+                        what: CHECKSUM_MISMATCH
+                    },
+                    "flip at byte {byte} bit {bit} must fail the checksum"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn short_buffer_reports_checksum_failure() {
+        for n in 0..SEAL_LEN {
+            assert!(Decoder::new(&vec![0u8; n]).is_err());
+        }
     }
 }

@@ -27,10 +27,9 @@
 //! messages"). `run_down_pass` therefore takes an optional value
 //! rider and is shared by `configure` and `allreduce_combined`.
 
-use crate::codec::{put_keys, put_values, Decoder};
-use crate::error::{comm_err, KylixError, Result};
+use crate::codec::{put_keys, put_values, seal, Decoder, SEAL_LEN};
+use crate::error::{comm_err, surface_corrupt, KylixError, Result};
 use crate::plan::NetworkPlan;
-use bytes::Bytes;
 use kylix_net::{Comm, Phase, Tag};
 use kylix_sparse::vec::scatter_combine;
 use kylix_sparse::{tree_merge, IndexSet, Key, Reducer, Scalar};
@@ -100,7 +99,8 @@ pub struct Configured {
 pub const MISSING: u32 = u32::MAX;
 
 /// Encoded size bookkeeping for self-"messages" (the paper's Fig. 5
-/// counts traffic *including packets to its own*).
+/// counts traffic *including packets to its own*). Section sizes only —
+/// add [`SEAL_LEN`] once per message for the checksum frame.
 pub(crate) fn keys_wire_len(n: usize) -> usize {
     8 + 8 * n
 }
@@ -191,8 +191,7 @@ where
         let sub_ranges = my_range.split(d);
         debug_assert!(cur_out.all_within(&my_range), "out keys escaped range");
         debug_assert!(cur_in.all_within(&my_range), "in keys escaped range");
-        let out_spans: Vec<Range<usize>> =
-            sub_ranges.iter().map(|r| cur_out.span_of(r)).collect();
+        let out_spans: Vec<Range<usize>> = sub_ranges.iter().map(|r| cur_out.span_of(r)).collect();
         let in_spans: Vec<Range<usize>> = sub_ranges.iter().map(|r| cur_in.span_of(r)).collect();
         let tag = Tag::new(phase, layer as u16, channel);
 
@@ -200,7 +199,7 @@ where
         for (c, &peer) in group.iter().enumerate() {
             let out_part = &cur_out.keys()[out_spans[c].clone()];
             let in_part = &cur_in.keys()[in_spans[c].clone()];
-            let mut wire = keys_wire_len(out_part.len()) + keys_wire_len(in_part.len());
+            let mut wire = keys_wire_len(out_part.len()) + keys_wire_len(in_part.len()) + SEAL_LEN;
             if values.is_some() {
                 wire += values_wire_len::<V>(out_spans[c].len());
             }
@@ -216,7 +215,7 @@ where
                 put_values(&mut buf, &vals[out_spans[c].clone()]);
             }
             put_keys(&mut buf, in_part);
-            comm.send(peer, tag, Bytes::from(buf));
+            comm.send(peer, tag, seal(buf));
         }
 
         // Collect every coordinate's parts (own part straight from the
@@ -234,7 +233,8 @@ where
                 continue;
             }
             let payload = comm.recv(peer, tag).map_err(comm_err("config down"))?;
-            let mut dec = Decoder::new(&payload);
+            let mut dec =
+                Decoder::new(&payload).map_err(surface_corrupt("config down", peer, tag))?;
             out_parts[c] = dec.keys()?;
             if values.is_some() {
                 val_parts[c] = dec.values::<V>()?;

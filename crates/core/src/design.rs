@@ -251,8 +251,7 @@ mod tests {
             bandwidth: 1.25e9,
         };
         let direct = predict_reduce_time(&NetworkPlan::direct(64), &model, lambda0, 8, &nic);
-        let nested =
-            predict_reduce_time(&NetworkPlan::new(&[8, 4, 2]), &model, lambda0, 8, &nic);
+        let nested = predict_reduce_time(&NetworkPlan::new(&[8, 4, 2]), &model, lambda0, 8, &nic);
         assert!(
             nested < direct,
             "nested {nested} should beat direct {direct}"
@@ -278,17 +277,18 @@ mod tests {
     fn predictor_prefers_fewer_layers_than_binary_when_data_large() {
         let (model, lambda0, nic) = paper_scale();
         let binary = predict_reduce_time(&NetworkPlan::binary(64), &model, lambda0, 8, &nic);
-        let nested =
-            predict_reduce_time(&NetworkPlan::new(&[8, 4, 2]), &model, lambda0, 8, &nic);
-        assert!(nested < binary, "8x4x2 {nested} should beat binary {binary}");
+        let nested = predict_reduce_time(&NetworkPlan::new(&[8, 4, 2]), &model, lambda0, 8, &nic);
+        assert!(
+            nested < binary,
+            "8x4x2 {nested} should beat binary {binary}"
+        );
     }
 
     #[test]
     fn predictor_prefers_nested_over_direct_at_paper_scale() {
         let (model, lambda0, nic) = paper_scale();
         let direct = predict_reduce_time(&NetworkPlan::direct(64), &model, lambda0, 8, &nic);
-        let nested =
-            predict_reduce_time(&NetworkPlan::new(&[8, 4, 2]), &model, lambda0, 8, &nic);
+        let nested = predict_reduce_time(&NetworkPlan::new(&[8, 4, 2]), &model, lambda0, 8, &nic);
         assert!(
             nested < direct,
             "8x4x2 {nested} should beat direct {direct}"

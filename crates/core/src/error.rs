@@ -48,6 +48,25 @@ pub fn comm_err(during: &'static str) -> impl FnOnce(CommError) -> KylixError {
     move |source| KylixError::Comm { during, source }
 }
 
+/// Re-surface a payload checksum failure as what it really is: a
+/// *communication* fault (`CommError::Corrupt`) attributed to the peer
+/// that sent the bad bytes. Other decode errors pass through unchanged
+/// — a well-checksummed but misshapen payload is a protocol bug, not a
+/// link fault.
+pub fn surface_corrupt(
+    during: &'static str,
+    from: usize,
+    tag: kylix_net::Tag,
+) -> impl FnOnce(KylixError) -> KylixError {
+    move |e| match e {
+        KylixError::Codec { what } if what == crate::codec::CHECKSUM_MISMATCH => KylixError::Comm {
+            during,
+            source: CommError::Corrupt { from, tag },
+        },
+        other => other,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,5 +84,25 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("config down pass"));
         assert!(s.contains("rank 3"));
+    }
+
+    #[test]
+    fn checksum_failures_surface_as_corruption() {
+        let tag = Tag::new(Phase::ReduceDown, 2, 0);
+        let e = surface_corrupt("reduce down", 4, tag)(KylixError::Codec {
+            what: crate::codec::CHECKSUM_MISMATCH,
+        });
+        assert_eq!(
+            e,
+            KylixError::Comm {
+                during: "reduce down",
+                source: CommError::Corrupt { from: 4, tag },
+            }
+        );
+        // A structurally bad (but well-checksummed) payload stays a
+        // codec error: that is a bug, not a link fault.
+        let passthrough =
+            surface_corrupt("reduce down", 4, tag)(KylixError::Codec { what: "key count" });
+        assert_eq!(passthrough, KylixError::Codec { what: "key count" });
     }
 }

@@ -34,7 +34,8 @@
 //!   identical protocol.
 //! * [`design`] — the §IV workflow choosing optimal degrees from
 //!   power-law statistics, plus an analytic cost model.
-//! * [`codec`] — raw little-endian message framing.
+//! * [`codec`] — raw little-endian message framing, checksum-sealed so
+//!   in-flight corruption is detected instead of silently reduced.
 //! * <code>reference</code> — the sequential semantics used by the test suite.
 //!
 //! ## Example

@@ -130,7 +130,11 @@ pub struct PlanParseError {
 
 impl std::fmt::Display for PlanParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "invalid degree token {:?} (expected e.g. \"8x4x2\")", self.token)
+        write!(
+            f,
+            "invalid degree token {:?} (expected e.g. \"8x4x2\")",
+            self.token
+        )
     }
 }
 

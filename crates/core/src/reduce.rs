@@ -19,9 +19,9 @@
 //! the per-iteration path of PageRank-style workloads where the vertex
 //! sets are fixed and only values change.
 
-use crate::codec::{decode_values, encode_values};
+use crate::codec::{decode_values, encode_values, SEAL_LEN};
 use crate::config::{values_wire_len, Configured};
-use crate::error::{comm_err, KylixError, Result};
+use crate::error::{comm_err, surface_corrupt, KylixError, Result};
 use kylix_net::{Comm, Phase, Tag};
 use kylix_sparse::vec::{gather, scatter_combine};
 use kylix_sparse::{Reducer, Scalar};
@@ -61,11 +61,7 @@ impl Configured {
         let top = self.up_values(comm, uvals, seq)?;
 
         // Sorted layout -> user order.
-        Ok(self
-            .in_user_map
-            .iter()
-            .map(|&p| top[p as usize])
-            .collect())
+        Ok(self.in_user_map.iter().map(|&p| top[p as usize]).collect())
     }
 
     /// Project fully reduced bottom values onto the bottom in-union:
@@ -105,7 +101,10 @@ impl Configured {
             let tag = Tag::new(Phase::ReduceDown, layer as u16, seq);
             for (c, &peer) in lr.group.iter().enumerate() {
                 if c == lr.my_pos {
-                    comm.note_traffic(layer as u16, values_wire_len::<V>(lr.out_spans[c].len()));
+                    comm.note_traffic(
+                        layer as u16,
+                        values_wire_len::<V>(lr.out_spans[c].len()) + SEAL_LEN,
+                    );
                     continue;
                 }
                 comm.send(peer, tag, encode_values(&vals[lr.out_spans[c].clone()]));
@@ -122,7 +121,8 @@ impl Configured {
                     continue;
                 }
                 let payload = comm.recv(peer, tag).map_err(comm_err("reduce down"))?;
-                let part: Vec<V> = decode_values(&payload)?;
+                let part: Vec<V> =
+                    decode_values(&payload).map_err(surface_corrupt("reduce down", peer, tag))?;
                 if part.len() != lr.out_maps[c].len() {
                     return Err(KylixError::Codec {
                         what: "down-pass values misaligned with configuration",
@@ -137,7 +137,12 @@ impl Configured {
 
     /// Up pass: carry `uvals` (aligned with the bottom in-union) back to
     /// the top; returns values aligned with `in0`.
-    pub(crate) fn up_values<C, V>(&self, comm: &mut C, mut uvals: Vec<V>, seq: u32) -> Result<Vec<V>>
+    pub(crate) fn up_values<C, V>(
+        &self,
+        comm: &mut C,
+        mut uvals: Vec<V>,
+        seq: u32,
+    ) -> Result<Vec<V>>
     where
         C: Comm,
         V: Scalar,
@@ -146,7 +151,10 @@ impl Configured {
             let tag = Tag::new(Phase::ReduceUp, layer as u16, seq);
             for (c, &peer) in lr.group.iter().enumerate() {
                 if c == lr.my_pos {
-                    comm.note_traffic(layer as u16, values_wire_len::<V>(lr.in_maps[c].len()));
+                    comm.note_traffic(
+                        layer as u16,
+                        values_wire_len::<V>(lr.in_maps[c].len()) + SEAL_LEN,
+                    );
                     continue;
                 }
                 comm.send(peer, tag, encode_values(&gather(&uvals, &lr.in_maps[c])));
@@ -162,7 +170,8 @@ impl Configured {
                     continue;
                 }
                 let payload = comm.recv(peer, tag).map_err(comm_err("reduce up"))?;
-                let part: Vec<V> = decode_values(&payload)?;
+                let part: Vec<V> =
+                    decode_values(&payload).map_err(surface_corrupt("reduce up", peer, tag))?;
                 if part.len() != lr.in_spans[c].len() {
                     return Err(KylixError::Codec {
                         what: "up-pass values misaligned with configuration",

@@ -102,9 +102,21 @@ impl<C: Comm> Comm for ReplicatedComm<C> {
         timeout: Duration,
     ) -> Result<Bytes, CommError> {
         let replicas = self.replicas_of(from);
-        self.inner
+        let (winner, payload) = self
+            .inner
             .recv_any_timeout(&replicas, tag, timeout)
-            .map(|(_, payload)| payload)
+            .map_err(|e| match e {
+                // The logical view asked for one source; report it so.
+                CommError::TimeoutAny { .. } => CommError::Timeout { from, tag },
+                other => other,
+            })?;
+        // Cancel the losing replicas' copies (the paper's cancelled
+        // listener threads, §V.B) — without this every race leaks
+        // `s - 1` payloads into the receive stash for the rest of the
+        // run.
+        let losers: Vec<usize> = replicas.into_iter().filter(|&r| r != winner).collect();
+        self.inner.discard(&losers, tag);
+        Ok(payload)
     }
 
     fn recv_any_timeout(
@@ -113,13 +125,32 @@ impl<C: Comm> Comm for ReplicatedComm<C> {
         tag: Tag,
         timeout: Duration,
     ) -> Result<(usize, Bytes), CommError> {
-        let physical: Vec<usize> = sources
-            .iter()
-            .flat_map(|&s| self.replicas_of(s))
-            .collect();
-        self.inner
+        let physical: Vec<usize> = sources.iter().flat_map(|&s| self.replicas_of(s)).collect();
+        let (winner, payload) = self
+            .inner
             .recv_any_timeout(&physical, tag, timeout)
-            .map(|(src, payload)| (src % self.logical_size, payload))
+            .map_err(|e| match e {
+                CommError::TimeoutAny { tag, .. } => CommError::TimeoutAny {
+                    sources: sources.to_vec(),
+                    tag,
+                },
+                other => other,
+            })?;
+        let logical = winner % self.logical_size;
+        // Only the winner's own sibling copies are cancelled: the other
+        // logical sources may still be claimed by a later receive.
+        let losers: Vec<usize> = self
+            .replicas_of(logical)
+            .into_iter()
+            .filter(|&r| r != winner)
+            .collect();
+        self.inner.discard(&losers, tag);
+        Ok((logical, payload))
+    }
+
+    fn discard(&mut self, sources: &[usize], tag: Tag) {
+        let physical: Vec<usize> = sources.iter().flat_map(|&s| self.replicas_of(s)).collect();
+        self.inner.discard(&physical, tag);
     }
 
     fn now(&self) -> f64 {
@@ -192,6 +223,42 @@ mod tests {
         });
         assert_eq!(out[1].as_ref().unwrap().as_deref(), Some(b"alive".as_ref()));
         assert_eq!(out[3].as_ref().unwrap().as_deref(), Some(b"alive".as_ref()));
+    }
+
+    #[test]
+    fn races_do_not_leak_stash() {
+        // Regression: before discard GC, every replicated receive left
+        // the losing replica's copy in the stash forever — O(rounds)
+        // growth. Now the stash must stay empty and every registered
+        // discard must be matched once the slower replica's copies all
+        // arrive.
+        const ROUNDS: u32 = 50;
+        let out = LocalCluster::run(4, |comm| {
+            let mut rc = ReplicatedComm::new(comm, 2);
+            let phys = rc.inner().rank();
+            for round in 0..ROUNDS {
+                match phys {
+                    0 | 2 => rc.send(1, t(round), Bytes::from_static(b"ping")),
+                    _ => {
+                        rc.recv(0, t(round)).unwrap();
+                    }
+                }
+            }
+            let mut c = rc.into_inner();
+            // Losing copies from the slower replica may still be in
+            // flight; keep draining (via a receive that cannot match)
+            // until each pending discard has consumed its arrival.
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            while c.pending_discard_len() > 0 && std::time::Instant::now() < deadline {
+                let _ = c.recv_timeout(0, t(u32::MAX), Duration::from_millis(1));
+            }
+            (c.stash_len(), c.pending_discard_len())
+        });
+        for &rank in &[1usize, 3] {
+            let (stash, pending) = out[rank];
+            assert_eq!(stash, 0, "rank {rank}: losing copies must be collected");
+            assert_eq!(pending, 0, "rank {rank}: every discard must be matched");
+        }
     }
 
     #[test]

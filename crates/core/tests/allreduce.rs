@@ -33,9 +33,7 @@ fn random_workload(m: usize, n_features: u64, seed: u64) -> Vec<NodeContribution
     (0..m)
         .map(|i| {
             let k = 1 + rng.next_index(30);
-            let in_indices: Vec<u64> = (0..k)
-                .map(|_| union[rng.next_index(union.len())])
-                .collect();
+            let in_indices: Vec<u64> = (0..k).map(|_| union[rng.next_index(union.len())]).collect();
             let out_values: Vec<f64> = outs[i]
                 .iter()
                 .map(|_| (rng.next_f64() * 8.0).round() / 4.0)
@@ -78,16 +76,16 @@ fn check_on_threads(plan: &NetworkPlan, nodes: &[NodeContribution<f64>]) {
 #[test]
 fn all_topologies_match_reference_threads() {
     for (seed, degrees) in [
-        (1u64, vec![4usize]),            // direct, 4 nodes
-        (2, vec![2, 2]),                 // 2x2 butterfly
-        (3, vec![8]),                    // direct, 8 nodes
-        (4, vec![2, 2, 2]),              // binary, 8 nodes
-        (5, vec![4, 2]),                 // heterogeneous, 8 nodes
-        (6, vec![3, 2]),                 // non-power-of-two, 6 nodes
-        (7, vec![2, 3]),                 // increasing degrees still work
-        (8, vec![4, 2, 2]),              // 16 nodes
-        (9, vec![5]),                    // odd direct
-        (10, vec![1]),                   // single node
+        (1u64, vec![4usize]), // direct, 4 nodes
+        (2, vec![2, 2]),      // 2x2 butterfly
+        (3, vec![8]),         // direct, 8 nodes
+        (4, vec![2, 2, 2]),   // binary, 8 nodes
+        (5, vec![4, 2]),      // heterogeneous, 8 nodes
+        (6, vec![3, 2]),      // non-power-of-two, 6 nodes
+        (7, vec![2, 3]),      // increasing degrees still work
+        (8, vec![4, 2, 2]),   // 16 nodes
+        (9, vec![5]),         // odd direct
+        (10, vec![1]),        // single node
     ] {
         let plan = NetworkPlan::new(&degrees);
         let nodes = random_workload(plan.size(), 500, seed);
@@ -153,7 +151,11 @@ fn repeated_reduce_on_one_configuration() {
         .map(|n| NodeContribution {
             in_indices: n.in_indices.clone(),
             out_indices: n.out_indices.clone(),
-            out_values: n.out_values.iter().map(|v| v + (iters - 1) as f64).collect(),
+            out_values: n
+                .out_values
+                .iter()
+                .map(|v| v + (iters - 1) as f64)
+                .collect(),
         })
         .collect();
     let expected = reference_allreduce(&bumped, SumReducer);
@@ -176,9 +178,7 @@ fn duplicate_user_indices_are_combined_and_served() {
         } else {
             (vec![9], vec![10.0])
         };
-        let mut state = kylix
-            .configure(&mut comm, &[5, 9, 5], &out_idx, 0)
-            .unwrap();
+        let mut state = kylix.configure(&mut comm, &[5, 9, 5], &out_idx, 0).unwrap();
         state.reduce(&mut comm, &out_val, SumReducer).unwrap()
     });
     for g in &got {
@@ -318,7 +318,9 @@ fn replicated_on_simulator_with_failures() {
     let plan = NetworkPlan::new(&[2, 2]);
     let nodes = random_workload(4, 300, 31);
     let expected = reference_allreduce(&nodes, SumReducer);
-    let cluster = SimCluster::new(8, NicModel::ec2_10g()).seed(3).failures(&[5]);
+    let cluster = SimCluster::new(8, NicModel::ec2_10g())
+        .seed(3)
+        .failures(&[5]);
     let got = cluster.run(|comm| {
         let mut rc = ReplicatedComm::new(comm, 2);
         let me = rc.rank();

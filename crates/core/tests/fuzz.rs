@@ -19,9 +19,12 @@ proptest! {
         let _ = decode_keys(&bytes);
         let _ = decode_values::<f64>(&bytes);
         let _ = decode_values::<u32>(&bytes);
-        let mut dec = Decoder::new(&bytes);
-        let _ = dec.keys();
-        let _ = dec.values::<u64>();
+        // Random bytes essentially never carry a valid seal, but if they
+        // do, the body decoders must still be panic-free.
+        if let Ok(mut dec) = Decoder::new(&bytes) {
+            let _ = dec.keys();
+            let _ = dec.values::<u64>();
+        }
     }
 
     /// Truncations of a VALID message error cleanly.
@@ -32,13 +35,22 @@ proptest! {
         let cut = cut.min(enc.len().saturating_sub(1));
         if cut < enc.len() {
             let sliced = &enc[..cut];
-            // Either a clean error, or (for cut == full prefix of a
-            // shorter valid list) a successful shorter decode — but
-            // never a panic. Count headers make short prefixes invalid
-            // unless cut lands exactly on the 8-byte header of an empty
-            // list, which n >= 1 rules out.
+            // Truncation destroys the trailing checksum, so every cut
+            // fails seal verification before any field is parsed.
             prop_assert!(decode_keys(sliced).is_err());
         }
+    }
+
+    /// A single flipped bit anywhere in a VALID message is caught by the
+    /// seal — this is the property that keeps corruption out of the
+    /// reduction.
+    #[test]
+    fn bit_flips_never_decode(n in 1usize..16, byte_sel in any::<prop::sample::Index>(), bit in 0u8..8) {
+        let keys: Vec<Key> = (0..n as u64).map(Key::new).collect();
+        let mut enc = kylix::codec::encode_keys(&keys).to_vec();
+        let byte = byte_sel.index(enc.len());
+        enc[byte] ^= 1 << bit;
+        prop_assert!(decode_keys(&enc).is_err());
     }
 }
 

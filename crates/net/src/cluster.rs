@@ -7,6 +7,7 @@
 //! is exactly the failure model of the paper's §V (crashed machines stop
 //! talking; they do not babble).
 
+use crate::fault::{ChaosComm, FaultPlan};
 use crate::thread_comm::ThreadComm;
 use std::thread;
 
@@ -27,9 +28,31 @@ impl LocalCluster {
     {
         let comms = ThreadComm::make_cluster(m);
         thread::scope(|s| {
+            let handles: Vec<_> = comms.into_iter().map(|comm| s.spawn(|| f(comm))).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("node thread panicked"))
+                .collect()
+        })
+    }
+
+    /// Run every rank behind a [`ChaosComm`] applying `plan` — lossy
+    /// links, duplicates, corruption, delays, and mid-run crashes, all
+    /// deterministic in the plan's seed. Unlike
+    /// [`LocalCluster::run_with_failures`], crashed ranks *do* run
+    /// until their crash event fires (they go dark mid-protocol), so
+    /// the closure must handle `CommError::Crashed` if the plan crashes
+    /// its rank.
+    pub fn run_with_faults<R, F>(m: usize, plan: &FaultPlan, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(ChaosComm<ThreadComm>) -> R + Sync,
+    {
+        let comms = ThreadComm::make_cluster(m);
+        thread::scope(|s| {
             let handles: Vec<_> = comms
                 .into_iter()
-                .map(|comm| s.spawn(|| f(comm)))
+                .map(|comm| s.spawn(|| f(ChaosComm::new(comm, plan.clone()))))
                 .collect();
             handles
                 .into_iter()
@@ -112,5 +135,36 @@ mod tests {
     fn single_rank_cluster() {
         let out = LocalCluster::run(1, |c| c.size());
         assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn run_with_faults_crashes_mid_protocol() {
+        use crate::comm::CommError;
+        use std::time::Duration;
+        // Rank 1 crashes on its second comm operation: its first send
+        // lands, its second does not, and every rank keeps running.
+        let plan = FaultPlan::new(11).crash_after_ops(1, 2);
+        let out = LocalCluster::run_with_faults(3, &plan, |mut c| {
+            let t = Tag::new(Phase::App, 0, 0);
+            let t2 = Tag::new(Phase::App, 0, 1);
+            c.send(2, t, Bytes::from(vec![c.rank() as u8]));
+            c.send(2, t2, Bytes::from(vec![c.rank() as u8]));
+            if c.rank() == 2 {
+                let a = c.recv_timeout(0, t, Duration::from_secs(5)).is_ok();
+                let b = c.recv_timeout(1, t, Duration::from_secs(5)).is_ok();
+                let c2 = c.recv_timeout(1, t2, Duration::from_millis(100)).is_ok();
+                (a, b, c2, false)
+            } else {
+                // The crashed rank observes its own darkness.
+                let dark = matches!(
+                    c.recv_timeout(0, t2, Duration::from_millis(1)),
+                    Err(CommError::Crashed { .. })
+                );
+                (true, true, true, dark)
+            }
+        });
+        assert_eq!(out[2], (true, true, false, false));
+        assert!(out[1].3, "rank 1 must observe its crash");
+        assert!(!out[0].3, "rank 0 never crashes");
     }
 }

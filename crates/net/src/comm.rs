@@ -4,9 +4,17 @@
 //! baselines, the applications — is written against [`Comm`]. The trait
 //! is intentionally tiny: point-to-point send, *selective* blocking
 //! receive (by source + tag), receive-any (the primitive behind the
-//! paper's replica "packet racing", §V.B), and two time hooks that let a
-//! virtual-time simulator charge compute and report virtual clocks while
-//! a real thread cluster reports wall clocks.
+//! paper's replica "packet racing", §V.B), a stash garbage-collection
+//! hook ([`Comm::discard`], used by racing wrappers to drop losing
+//! copies), and two time hooks that let a virtual-time simulator charge
+//! compute and report virtual clocks while a real thread cluster
+//! reports wall clocks.
+//!
+//! Substrates that can hand over *every* incoming message regardless of
+//! source and tag additionally implement [`RawComm`]; the reliable
+//! delivery wrapper (`crate::reliable::ReliableComm`) is built on that,
+//! because it must see acknowledgements from any peer while the
+//! protocol above it blocks on one.
 
 use crate::tag::Tag;
 use bytes::Bytes;
@@ -15,13 +23,38 @@ use std::time::Duration;
 /// Errors a receive can surface.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CommError {
-    /// No matching message arrived within the timeout (e.g. the peer is
-    /// dead and the protocol has no replica to race).
+    /// No matching message arrived within the timeout for a *selective*
+    /// receive (e.g. the peer is dead and the protocol has no replica
+    /// to race).
     Timeout {
-        /// Rank that was being waited on (or usize::MAX for recv_any).
+        /// Rank that was being waited on.
         from: usize,
         /// Tag that was being waited on.
         tag: Tag,
+    },
+    /// No message with `tag` arrived from *any* of `sources` within the
+    /// timeout — a failed packet race: every candidate replica is dead
+    /// or silent.
+    TimeoutAny {
+        /// The racing candidate ranks that were being waited on.
+        sources: Vec<usize>,
+        /// Tag that was being waited on.
+        tag: Tag,
+    },
+    /// A received payload failed its integrity check: the bytes that
+    /// arrived from `from` are not the bytes that were sent (injected
+    /// or real corruption). Never silently delivered.
+    Corrupt {
+        /// Rank whose message was damaged.
+        from: usize,
+        /// Tag of the damaged message.
+        tag: Tag,
+    },
+    /// This endpoint has crashed (mid-run fault injection): the node is
+    /// dark and can neither send nor receive.
+    Crashed {
+        /// The crashed rank (this endpoint's own rank).
+        rank: usize,
     },
     /// The cluster is shutting down (all senders dropped).
     Closed,
@@ -32,6 +65,18 @@ impl std::fmt::Display for CommError {
         match self {
             CommError::Timeout { from, tag } => {
                 write!(f, "timed out waiting for rank {from} tag {tag:?}")
+            }
+            CommError::TimeoutAny { sources, tag } => {
+                write!(
+                    f,
+                    "timed out waiting for any of ranks {sources:?} tag {tag:?}"
+                )
+            }
+            CommError::Corrupt { from, tag } => {
+                write!(f, "corrupt payload from rank {from} tag {tag:?}")
+            }
+            CommError::Crashed { rank } => {
+                write!(f, "rank {rank} has crashed (endpoint is dark)")
             }
             CommError::Closed => write!(f, "communicator closed"),
         }
@@ -79,6 +124,11 @@ pub trait Comm: Send {
 
     /// Receive the first message with tag `tag` from *any* of `sources`
     /// ("packet racing"): returns the winning source and its payload.
+    ///
+    /// Losing copies are **not** consumed: a racing caller that fanned
+    /// the same logical message out to every source should
+    /// [`Comm::discard`] the losers afterwards, or they accumulate in
+    /// the receive stash.
     fn recv_any_timeout(
         &mut self,
         sources: &[usize],
@@ -90,6 +140,17 @@ pub trait Comm: Send {
     fn recv_any(&mut self, sources: &[usize], tag: Tag) -> Result<(usize, Bytes), CommError> {
         self.recv_any_timeout(sources, tag, DEFAULT_TIMEOUT)
     }
+
+    /// Drop one message with `tag` from each of `sources` — whether it
+    /// already sits in the receive stash or has not arrived yet (a
+    /// pending discard is remembered and applied on arrival).
+    ///
+    /// This is the stash garbage-collection hook for packet racing
+    /// (§V.B): after a race is won, the losing replicas' copies are
+    /// dead weight and would otherwise accumulate forever across
+    /// collective rounds. The default is a no-op (substrates without a
+    /// stash have nothing to collect).
+    fn discard(&mut self, _sources: &[usize], _tag: Tag) {}
 
     /// Current time in seconds: wall-clock since cluster start for real
     /// clusters, virtual time for simulators.
@@ -106,12 +167,52 @@ pub trait Comm: Send {
     fn note_traffic(&mut self, _layer: u16, _bytes: usize) {}
 }
 
+/// One incoming message, unfiltered: source, tag, payload.
+#[derive(Debug, Clone)]
+pub struct RawMessage {
+    /// Sender rank.
+    pub src: usize,
+    /// Message tag.
+    pub tag: Tag,
+    /// Message payload.
+    pub payload: Bytes,
+}
+
+/// A communicator that can surrender its *next incoming message
+/// whatever it is* — the primitive reliable delivery is built on.
+///
+/// Selective receives ([`Comm::recv_timeout`]) stash non-matching
+/// traffic invisibly; a reliability layer must instead observe every
+/// arrival (data from anyone, acknowledgements for its own sends), so
+/// it drives the substrate exclusively through this method and keeps
+/// its own delivery queues.
+pub trait RawComm: Comm {
+    /// Blocking receive of the next incoming message from any source
+    /// with any tag. Returns `Ok(None)` if nothing arrived within
+    /// `timeout` (an expected condition in retransmission loops, not an
+    /// error). Messages already stashed by earlier selective receives
+    /// are yielded first.
+    fn recv_raw_timeout(&mut self, timeout: Duration) -> Result<Option<RawMessage>, CommError>;
+}
+
 /// A communicator wrapper that bounds every blocking receive with a
 /// caller-chosen patience instead of [`DEFAULT_TIMEOUT`].
 ///
 /// Useful for tests and demos that *expect* a peer to be unreachable
 /// (e.g. an unreplicated protocol facing a dead node) and want the
 /// failure surfaced quickly rather than after a minute.
+///
+/// ### Timeout semantics
+///
+/// The patience is an **upper bound**, applied identically to every
+/// receive flavour:
+///
+/// * `recv` / `recv_any` (no explicit timeout) wait exactly the
+///   patience instead of [`DEFAULT_TIMEOUT`];
+/// * `recv_timeout` / `recv_any_timeout` wait
+///   `min(explicit timeout, patience)` — an explicit timeout *shorter*
+///   than the patience is honoured as given, a longer one is clamped
+///   down to the patience.
 pub struct PatienceComm<C: Comm> {
     inner: C,
     patience: Duration,
@@ -121,6 +222,11 @@ impl<C: Comm> PatienceComm<C> {
     /// Wrap a communicator with the given receive patience.
     pub fn new(inner: C, patience: Duration) -> Self {
         Self { inner, patience }
+    }
+
+    /// The configured patience (the upper bound on every receive).
+    pub fn patience(&self) -> Duration {
+        self.patience
     }
 
     /// Unwrap the inner communicator.
@@ -148,7 +254,8 @@ impl<C: Comm> Comm for PatienceComm<C> {
         tag: Tag,
         timeout: Duration,
     ) -> Result<Bytes, CommError> {
-        self.inner.recv_timeout(from, tag, timeout.min(self.patience))
+        self.inner
+            .recv_timeout(from, tag, timeout.min(self.patience))
     }
 
     fn recv(&mut self, from: usize, tag: Tag) -> Result<Bytes, CommError> {
@@ -169,6 +276,10 @@ impl<C: Comm> Comm for PatienceComm<C> {
         self.inner.recv_any_timeout(sources, tag, self.patience)
     }
 
+    fn discard(&mut self, sources: &[usize], tag: Tag) {
+        self.inner.discard(sources, tag);
+    }
+
     fn now(&self) -> f64 {
         self.inner.now()
     }
@@ -179,5 +290,87 @@ impl<C: Comm> Comm for PatienceComm<C> {
 
     fn note_traffic(&mut self, layer: u16, bytes: usize) {
         self.inner.note_traffic(layer, bytes);
+    }
+}
+
+impl<C: RawComm> RawComm for PatienceComm<C> {
+    fn recv_raw_timeout(&mut self, timeout: Duration) -> Result<Option<RawMessage>, CommError> {
+        self.inner.recv_raw_timeout(timeout.min(self.patience))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tag::Phase;
+    use crate::thread_comm::ThreadComm;
+    use std::time::Instant;
+
+    fn tag() -> Tag {
+        Tag::new(Phase::App, 0, 0)
+    }
+
+    /// Regression (both directions of the min semantics): an explicit
+    /// timeout shorter than the patience is honoured as given.
+    #[test]
+    fn explicit_timeout_shorter_than_patience_is_honoured() {
+        let comms = ThreadComm::make_cluster(2);
+        let mut p = PatienceComm::new(comms.into_iter().nth(1).unwrap(), Duration::from_secs(5));
+        let start = Instant::now();
+        let err = p
+            .recv_timeout(0, tag(), Duration::from_millis(40))
+            .unwrap_err();
+        let elapsed = start.elapsed();
+        assert!(matches!(err, CommError::Timeout { from: 0, .. }));
+        assert!(
+            elapsed < Duration::from_millis(1500),
+            "short explicit timeout must not wait out the patience: {elapsed:?}"
+        );
+    }
+
+    /// Regression (the other direction): an explicit timeout longer
+    /// than the patience is clamped down to the patience, consistently
+    /// with `recv`.
+    #[test]
+    fn explicit_timeout_longer_than_patience_is_clamped() {
+        let comms = ThreadComm::make_cluster(2);
+        let mut p = PatienceComm::new(comms.into_iter().nth(1).unwrap(), Duration::from_millis(40));
+        let start = Instant::now();
+        let err = p
+            .recv_timeout(0, tag(), Duration::from_secs(60))
+            .unwrap_err();
+        let elapsed = start.elapsed();
+        assert!(matches!(err, CommError::Timeout { from: 0, .. }));
+        assert!(
+            elapsed < Duration::from_millis(1500),
+            "long explicit timeout must be clamped to the patience: {elapsed:?}"
+        );
+
+        // recv_any has the same cap.
+        let start = Instant::now();
+        let err = p
+            .recv_any_timeout(&[0], tag(), Duration::from_secs(60))
+            .unwrap_err();
+        assert!(matches!(err, CommError::TimeoutAny { .. }));
+        assert!(start.elapsed() < Duration::from_millis(1500));
+    }
+
+    #[test]
+    fn default_recv_uses_patience_not_default_timeout() {
+        let comms = ThreadComm::make_cluster(2);
+        let mut p = PatienceComm::new(comms.into_iter().nth(1).unwrap(), Duration::from_millis(40));
+        let start = Instant::now();
+        assert!(p.recv(0, tag()).is_err());
+        assert!(start.elapsed() < Duration::from_millis(1500));
+    }
+
+    #[test]
+    fn timeout_any_error_is_self_describing() {
+        let e = CommError::TimeoutAny {
+            sources: vec![3, 7],
+            tag: tag(),
+        };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('7'), "{s}");
     }
 }

@@ -23,13 +23,32 @@
 //!
 //! Because every protocol in the workspace is written against the trait,
 //! the *identical* code path is exercised both ways.
+//!
+//! ## Faults and reliability
+//!
+//! Commodity clusters misbehave, and this crate makes that misbehaviour
+//! an injectable, reproducible input:
+//!
+//! * [`fault::FaultPlan`] — a seeded, fully deterministic description
+//!   of per-link drop/duplicate/corrupt/delay probabilities and
+//!   per-node mid-run crashes;
+//! * [`fault::ChaosComm`] — a wrapper applying a plan to any `Comm`;
+//! * [`reliable::ReliableComm`] — acked, checksummed, retransmitting
+//!   delivery that makes protocols complete over lossy links.
+//!
+//! The wrappers compose: `ReplicatedComm<ReliableComm<ChaosComm<…>>>`
+//! survives node crashes *and* message loss at once.
 
 pub mod cluster;
 pub mod comm;
+pub mod fault;
+pub mod reliable;
 pub mod tag;
 pub mod thread_comm;
 
 pub use cluster::LocalCluster;
-pub use comm::{Comm, CommError, PatienceComm};
+pub use comm::{Comm, CommError, PatienceComm, RawComm, RawMessage};
+pub use fault::{checksum, ChaosComm, Crash, FaultPlan, FaultStats, LinkFaults};
+pub use reliable::{ReliableComm, ReliableStats, RetryConfig};
 pub use tag::{Phase, Tag};
 pub use thread_comm::ThreadComm;

@@ -6,14 +6,24 @@
 //! and the receiver picks matching ones out of its mailbox whenever the
 //! protocol asks, stashing the rest. That out-of-order stash is what lets
 //! every node run the butterfly schedule without global synchronisation.
+//!
+//! The stash is garbage-collected cooperatively: racing wrappers call
+//! [`Comm::discard`] for the copies they no longer want, and a discard
+//! for a message that has not arrived yet is remembered and applied on
+//! arrival, so replica fan-out traffic cannot accumulate unboundedly.
 
-use crate::comm::{Comm, CommError};
+use crate::comm::{Comm, CommError, RawComm, RawMessage};
 use crate::tag::Tag;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Cap on remembered not-yet-arrived discards. A discard aimed at a
+/// dead peer never matches an arrival; without a bound those entries
+/// would leak instead of the stash. Oldest entries are evicted first.
+const MAX_PENDING_DISCARDS: usize = 1024;
 
 /// One in-flight message.
 #[derive(Debug)]
@@ -31,6 +41,10 @@ pub struct ThreadComm {
     rx: Receiver<Envelope>,
     /// Messages that arrived before the protocol asked for them.
     stash: HashMap<(usize, Tag), VecDeque<Bytes>>,
+    /// Discards registered before the matching message arrived.
+    pending_discards: HashMap<(usize, Tag), u32>,
+    /// Insertion order of `pending_discards` keys, for eviction.
+    discard_order: VecDeque<(usize, Tag)>,
     epoch: Instant,
 }
 
@@ -57,18 +71,43 @@ impl ThreadComm {
                 senders: Arc::clone(&senders),
                 rx,
                 stash: HashMap::new(),
+                pending_discards: HashMap::new(),
+                discard_order: VecDeque::new(),
                 epoch,
             })
             .collect()
     }
 
+    /// Route one arrival: either it satisfies a pending discard and is
+    /// dropped, or it joins the stash. Every receive path funnels
+    /// arrivals through here so discards apply uniformly.
+    fn accept(&mut self, env: Envelope) {
+        if self.consume_pending_discard(env.src, env.tag) {
+            return;
+        }
+        self.stash
+            .entry((env.src, env.tag))
+            .or_default()
+            .push_back(env.payload);
+    }
+
+    fn consume_pending_discard(&mut self, src: usize, tag: Tag) -> bool {
+        match self.pending_discards.get_mut(&(src, tag)) {
+            Some(n) => {
+                *n -= 1;
+                if *n == 0 {
+                    self.pending_discards.remove(&(src, tag));
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Pull everything currently in the channel into the stash.
     fn drain_into_stash(&mut self) {
         while let Ok(env) = self.rx.try_recv() {
-            self.stash
-                .entry((env.src, env.tag))
-                .or_default()
-                .push_back(env.payload);
+            self.accept(env);
         }
     }
 
@@ -79,6 +118,17 @@ impl ThreadComm {
             self.stash.remove(&(from, tag));
         }
         payload
+    }
+
+    /// Number of messages currently held in the out-of-order stash
+    /// (across all sources and tags). Exposed for leak tests.
+    pub fn stash_len(&self) -> usize {
+        self.stash.values().map(|q| q.len()).sum()
+    }
+
+    /// Number of registered not-yet-arrived discards.
+    pub fn pending_discard_len(&self) -> usize {
+        self.pending_discards.values().map(|&n| n as usize).sum()
     }
 }
 
@@ -115,15 +165,7 @@ impl Comm for ThreadComm {
             }
             let remaining = deadline.saturating_duration_since(Instant::now());
             match self.rx.recv_timeout(remaining) {
-                Ok(env) => {
-                    if env.src == from && env.tag == tag {
-                        return Ok(env.payload);
-                    }
-                    self.stash
-                        .entry((env.src, env.tag))
-                        .or_default()
-                        .push_back(env.payload);
-                }
+                Ok(env) => self.accept(env),
                 Err(RecvTimeoutError::Timeout) => {
                     return Err(CommError::Timeout { from, tag });
                 }
@@ -148,18 +190,10 @@ impl Comm for ThreadComm {
             }
             let remaining = deadline.saturating_duration_since(Instant::now());
             match self.rx.recv_timeout(remaining) {
-                Ok(env) => {
-                    if env.tag == tag && sources.contains(&env.src) {
-                        return Ok((env.src, env.payload));
-                    }
-                    self.stash
-                        .entry((env.src, env.tag))
-                        .or_default()
-                        .push_back(env.payload);
-                }
+                Ok(env) => self.accept(env),
                 Err(RecvTimeoutError::Timeout) => {
-                    return Err(CommError::Timeout {
-                        from: usize::MAX,
+                    return Err(CommError::TimeoutAny {
+                        sources: sources.to_vec(),
                         tag,
                     });
                 }
@@ -168,8 +202,53 @@ impl Comm for ThreadComm {
         }
     }
 
+    fn discard(&mut self, sources: &[usize], tag: Tag) {
+        self.drain_into_stash();
+        for &s in sources {
+            if self.take_stashed(s, tag).is_some() {
+                continue;
+            }
+            let n = self.pending_discards.entry((s, tag)).or_insert(0);
+            if *n == 0 {
+                self.discard_order.push_back((s, tag));
+            }
+            *n += 1;
+        }
+        // Evict the oldest remembered discards once over the cap (e.g.
+        // discards aimed at dead peers whose message will never come).
+        while self.pending_discards.len() > MAX_PENDING_DISCARDS {
+            match self.discard_order.pop_front() {
+                Some(key) => {
+                    self.pending_discards.remove(&key);
+                }
+                None => break,
+            }
+        }
+    }
+
     fn now(&self) -> f64 {
         self.epoch.elapsed().as_secs_f64()
+    }
+}
+
+impl RawComm for ThreadComm {
+    fn recv_raw_timeout(&mut self, timeout: Duration) -> Result<Option<RawMessage>, CommError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.drain_into_stash();
+            // Deterministic pick: smallest (src, tag) with a stashed
+            // message. Within one key the queue is FIFO.
+            if let Some(&(src, tag)) = self.stash.keys().min_by_key(|&&(s, t)| (s, t.raw())) {
+                let payload = self.take_stashed(src, tag).expect("nonempty stash entry");
+                return Ok(Some(RawMessage { src, tag, payload }));
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match self.rx.recv_timeout(remaining) {
+                Ok(env) => self.accept(env),
+                Err(RecvTimeoutError::Timeout) => return Ok(None),
+                Err(RecvTimeoutError::Disconnected) => return Err(CommError::Closed),
+            }
+        }
     }
 }
 
@@ -252,6 +331,22 @@ mod tests {
     }
 
     #[test]
+    fn recv_any_timeout_reports_the_sources() {
+        let mut comms = ThreadComm::make_cluster(4);
+        let mut c3 = comms.remove(3);
+        let err = c3
+            .recv_any_timeout(&[0, 2], tag(0, 0), Duration::from_millis(50))
+            .unwrap_err();
+        match err {
+            CommError::TimeoutAny { sources, tag: t } => {
+                assert_eq!(sources, vec![0, 2]);
+                assert_eq!(t, tag(0, 0));
+            }
+            other => panic!("expected TimeoutAny, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn send_to_dead_rank_is_dropped() {
         let mut comms = ThreadComm::make_cluster(2);
         let dead = comms.pop().unwrap();
@@ -296,5 +391,70 @@ mod tests {
         let a = c.now();
         let b = c.now();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn discard_removes_stashed_copy() {
+        let mut comms = ThreadComm::make_cluster(3);
+        let mut c2 = comms.pop().unwrap();
+        let mut c1 = comms.pop().unwrap();
+        let mut c0 = comms.pop().unwrap();
+        c0.send(2, tag(0, 0), Bytes::from_static(b"winner"));
+        c1.send(2, tag(0, 0), Bytes::from_static(b"loser"));
+        let (_src, _p) = c2.recv_any(&[0, 1], tag(0, 0)).unwrap();
+        // One copy remains stashed or in flight; discard the loser.
+        c2.discard(&[0, 1], tag(0, 0));
+        // Give the in-flight copy time to land, then drain.
+        thread::sleep(Duration::from_millis(20));
+        c2.drain_into_stash();
+        assert_eq!(c2.stash_len(), 0, "losing copy must be collected");
+    }
+
+    #[test]
+    fn discard_applies_to_future_arrival() {
+        let mut comms = ThreadComm::make_cluster(2);
+        let mut c1 = comms.pop().unwrap();
+        let mut c0 = comms.pop().unwrap();
+        // Discard before the message exists.
+        c1.discard(&[0], tag(0, 7));
+        c0.send(1, tag(0, 7), Bytes::from_static(b"late loser"));
+        c0.send(1, tag(0, 8), Bytes::from_static(b"keeper"));
+        // The keeper is receivable; the discarded one is consumed.
+        assert_eq!(&c1.recv(0, tag(0, 8)).unwrap()[..], b"keeper");
+        assert!(c1
+            .recv_timeout(0, tag(0, 7), Duration::from_millis(50))
+            .is_err());
+        assert_eq!(c1.stash_len(), 0);
+        assert_eq!(c1.pending_discard_len(), 0);
+    }
+
+    #[test]
+    fn pending_discards_are_bounded() {
+        let mut comms = ThreadComm::make_cluster(2);
+        let mut c1 = comms.pop().unwrap();
+        // Register far more dead-peer discards than the cap.
+        for seq in 0..(MAX_PENDING_DISCARDS as u32 * 3) {
+            c1.discard(&[0], tag(0, seq));
+        }
+        assert!(c1.pending_discards.len() <= MAX_PENDING_DISCARDS);
+    }
+
+    #[test]
+    fn raw_recv_yields_anything_and_times_out_as_none() {
+        let mut comms = ThreadComm::make_cluster(2);
+        let mut c1 = comms.pop().unwrap();
+        let mut c0 = comms.pop().unwrap();
+        c0.send(1, tag(3, 9), Bytes::from_static(b"raw"));
+        let m = c1
+            .recv_raw_timeout(Duration::from_secs(1))
+            .unwrap()
+            .expect("message");
+        assert_eq!(m.src, 0);
+        assert_eq!(m.tag, tag(3, 9));
+        assert_eq!(&m.payload[..], b"raw");
+        assert!(c1
+            .recv_raw_timeout(Duration::from_millis(30))
+            .unwrap()
+            .is_none());
     }
 }

@@ -101,7 +101,11 @@ fn large_payload_integrity() {
             true
         } else {
             let got = comm.recv(0, t(0, 0)).unwrap();
-            got.len() == n && got.iter().enumerate().all(|(i, &b)| b == (i * 31 % 251) as u8)
+            got.len() == n
+                && got
+                    .iter()
+                    .enumerate()
+                    .all(|(i, &b)| b == (i * 31 % 251) as u8)
         }
     });
     assert!(out[1]);

@@ -19,34 +19,52 @@
 //!   node's pool, starting no earlier than delivery. The receiver's
 //!   clock advances to `max(local_clock, processed_at)`. The worker pool
 //!   is what reproduces the paper's thread-count effect (Fig. 7).
-//! * **recv_any** — models the replicas' *packet race* (§V.B): all
-//!   live copies are awaited and the earliest virtual delivery wins;
-//!   the rest are discarded unprocessed, like the paper's cancelled
-//!   listener threads. Taking the minimum of jittered delivery times is
-//!   exactly the latency-variance absorption the paper credits racing
-//!   with.
+//! * **recv_any** — models the replicas' *packet race* (§V.B): the race
+//!   waits until every live candidate's copy is in (or the candidate is
+//!   known dead) and the earliest virtual delivery wins. Only the winner
+//!   is consumed and processed; losing copies stay in the stash for the
+//!   caller to [`Comm::discard`], like the paper's cancelled listener
+//!   threads. Taking the minimum of jittered delivery times is exactly
+//!   the latency-variance absorption the paper credits racing with.
 //!
 //! Jitter is hashed from `(seed, src, dst, per-pair sequence)`, so a
 //! simulation is bit-reproducible regardless of OS scheduling.
 //!
 //! ### Failure model
 //!
-//! Ranks listed as dead never run and never send; messages to them
-//! vanish. A selective `recv` from a dead rank times out (in real time)
-//! — the unreplicated protocol has no defence, which is the paper's
-//! motivation for §V. `recv_any` consults the shared liveness table so
-//! the race completes as soon as every *live* replica's copy is in.
+//! Liveness is dynamic: a shared table of atomic flags, one per rank.
+//! Ranks listed as dead from the start never run and never send.
+//! Mid-run crashes ([`SimCluster::crash_at`]) let a rank run normally
+//! until its virtual clock reaches the crash time, then turn it *dark*:
+//! its flag drops, sends are swallowed, and its own receives return
+//! `CommError::Crashed`. A crashing rank completes all sends it issued
+//! before the crash (fail-stop: it stops talking, it does not babble),
+//! and receivers observe the liveness flip only after those sends are
+//! visible, so a race never misses a message from a peer it just
+//! declared dead. A selective `recv` from a dead rank fails with
+//! `Timeout` (promptly once the death is observed) — the unreplicated
+//! protocol has no defence, which is the paper's motivation for §V.
+//! `recv_any` excludes dead candidates so the race completes as soon as
+//! every *live* replica's copy is in.
 
 use crate::nic::NicModel;
 use crate::stats::{TrafficReport, TrafficStats};
 use crate::trace::{Trace, TraceEvent};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use kylix_net::{Comm, CommError, Tag};
+use kylix_net::{Comm, CommError, FaultPlan, RawComm, RawMessage, Tag};
 use kylix_sparse::hash::mix_many;
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Cap on remembered not-yet-arrived discards (see `ThreadComm`).
+const MAX_PENDING_DISCARDS: usize = 4096;
+
+/// Poll interval for re-checking liveness flags while blocked: a peer
+/// crashing mid-run flips a flag but sends nothing to wake us.
+const LIVENESS_POLL: Duration = Duration::from_millis(2);
 
 /// A simulated in-flight message: payload plus virtual delivery time.
 struct SimEnvelope {
@@ -64,10 +82,13 @@ pub struct SimComm {
     seed: u64,
     senders: Arc<Vec<Sender<SimEnvelope>>>,
     rx: Receiver<SimEnvelope>,
-    alive: Arc<Vec<bool>>,
+    alive: Arc<Vec<AtomicBool>>,
     stats: Arc<TrafficStats>,
     trace: Option<Arc<Trace>>,
     stash: HashMap<(usize, Tag), VecDeque<(f64, Bytes)>>,
+    /// Discards registered before the matching message arrived.
+    pending_discards: HashMap<(usize, Tag), u32>,
+    discard_order: VecDeque<(usize, Tag)>,
     /// Node-local virtual clock (seconds).
     t_local: f64,
     /// Virtual time at which the NIC finishes its queued sends.
@@ -79,6 +100,10 @@ pub struct SimComm {
     /// This node's straggler factor: all its NIC/CPU times are
     /// multiplied by it (1.0 = nominal).
     slowdown: f64,
+    /// Virtual time at which this node crashes, if ever.
+    crash_t: Option<f64>,
+    /// Set once the crash has fired: the endpoint is dark.
+    dark: bool,
 }
 
 impl SimComm {
@@ -113,6 +138,28 @@ impl SimComm {
         done
     }
 
+    /// Whether this node's crash event has fired. Checked on entry to
+    /// every communicator operation; once dark, always dark.
+    fn crashed(&mut self) -> bool {
+        if self.dark {
+            return true;
+        }
+        if let Some(ct) = self.crash_t {
+            if self.t_local >= ct {
+                self.dark = true;
+                // SeqCst: every send this node issued happened-before
+                // this store, so a peer that observes the flag down and
+                // then drains its channel has seen all our messages.
+                self.alive[self.rank].store(false, Ordering::SeqCst);
+            }
+        }
+        self.dark
+    }
+
+    fn is_alive(&self, rank: usize) -> bool {
+        self.alive[rank].load(Ordering::SeqCst)
+    }
+
     fn take_stashed(&mut self, from: usize, tag: Tag) -> Option<(f64, Bytes)> {
         let q = self.stash.get_mut(&(from, tag))?;
         let item = q.pop_front();
@@ -122,15 +169,47 @@ impl SimComm {
         item
     }
 
-    fn stash_env(&mut self, env: SimEnvelope) {
+    /// Route one arrival: either it satisfies a pending discard and is
+    /// dropped, or it joins the stash.
+    fn accept(&mut self, env: SimEnvelope) {
+        if self.consume_pending_discard(env.src, env.tag) {
+            return;
+        }
         self.stash
             .entry((env.src, env.tag))
             .or_default()
             .push_back((env.deliver_t, env.payload));
     }
 
+    fn consume_pending_discard(&mut self, src: usize, tag: Tag) -> bool {
+        match self.pending_discards.get_mut(&(src, tag)) {
+            Some(n) => {
+                *n -= 1;
+                if *n == 0 {
+                    self.pending_discards.remove(&(src, tag));
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn drain_channel(&mut self) {
+        while let Ok(env) = self.rx.try_recv() {
+            self.accept(env);
+        }
+    }
+
+    /// Number of messages currently held in the out-of-order stash.
+    /// Exposed for leak tests.
+    pub fn stash_len(&self) -> usize {
+        self.stash.values().map(|q| q.len()).sum()
+    }
+
     /// Block (in real time) until a message from `from` with `tag` is
-    /// available; returns its virtual delivery time and payload.
+    /// available; returns its virtual delivery time and payload. Fails
+    /// promptly (with `Timeout`) once `from` is observed dead with no
+    /// matching message left.
     fn await_raw(
         &mut self,
         from: usize,
@@ -138,19 +217,29 @@ impl SimComm {
         timeout: Duration,
     ) -> Result<(f64, Bytes), CommError> {
         let deadline = Instant::now() + timeout;
+        let mut seen_dead = false;
         loop {
+            self.drain_channel();
             if let Some(item) = self.take_stashed(from, tag) {
                 return Ok(item);
             }
+            if seen_dead {
+                // The flag was down on a previous iteration and we have
+                // re-drained since: every message the peer ever sent is
+                // accounted for, and none matched.
+                return Err(CommError::Timeout { from, tag });
+            }
+            seen_dead = !self.is_alive(from);
+            if seen_dead {
+                continue; // re-drain once after observing the death
+            }
             let remaining = deadline.saturating_duration_since(Instant::now());
-            match self.rx.recv_timeout(remaining) {
-                Ok(env) => {
-                    if env.src == from && env.tag == tag {
-                        return Ok((env.deliver_t, env.payload));
-                    }
-                    self.stash_env(env);
-                }
-                Err(RecvTimeoutError::Timeout) => return Err(CommError::Timeout { from, tag }),
+            if remaining.is_zero() {
+                return Err(CommError::Timeout { from, tag });
+            }
+            match self.rx.recv_timeout(remaining.min(LIVENESS_POLL)) {
+                Ok(env) => self.accept(env),
+                Err(RecvTimeoutError::Timeout) => {} // poll liveness again
                 Err(RecvTimeoutError::Disconnected) => return Err(CommError::Closed),
             }
         }
@@ -168,6 +257,9 @@ impl Comm for SimComm {
 
     fn send(&mut self, to: usize, tag: Tag, payload: Bytes) {
         debug_assert!(to < self.size, "rank {to} out of range");
+        if self.crashed() {
+            return;
+        }
         self.stats.record(tag.layer(), payload.len());
         let start = self.t_local.max(self.nic_free);
         let xfer = self.nic.xfer_time(payload.len()) * self.slowdown;
@@ -183,7 +275,7 @@ impl Comm for SimComm {
                 deliver_t,
             });
         }
-        if self.alive[to] {
+        if self.is_alive(to) {
             // Disconnected receiver == dead node: drop silently.
             let _ = self.senders[to].send(SimEnvelope {
                 src: self.rank,
@@ -200,6 +292,9 @@ impl Comm for SimComm {
         tag: Tag,
         timeout: Duration,
     ) -> Result<Bytes, CommError> {
+        if self.crashed() {
+            return Err(CommError::Crashed { rank: self.rank });
+        }
         let (deliver_t, payload) = self.await_raw(from, tag, timeout)?;
         let done = self.process(deliver_t, payload.len());
         self.t_local = self.t_local.max(done);
@@ -212,31 +307,107 @@ impl Comm for SimComm {
         tag: Tag,
         timeout: Duration,
     ) -> Result<(usize, Bytes), CommError> {
-        // Race: await one copy from every live replica, earliest virtual
-        // delivery wins, the rest are cancelled (dropped unprocessed).
-        let live: Vec<usize> = sources
-            .iter()
-            .copied()
-            .filter(|&s| self.alive[s])
-            .collect();
-        if live.is_empty() {
-            return Err(CommError::Timeout {
-                from: usize::MAX,
-                tag,
-            });
+        if self.crashed() {
+            return Err(CommError::Crashed { rank: self.rank });
         }
-        let mut best: Option<(f64, usize, Bytes)> = None;
-        for s in live {
-            let (t, payload) = self.await_raw(s, tag, timeout)?;
-            match &best {
-                Some((bt, _, _)) if *bt <= t => {}
-                _ => best = Some((t, s, payload)),
+        // Race (§V.B): wait until every candidate has either delivered a
+        // copy or been observed dead *after* a re-drain, then take the
+        // earliest virtual delivery. The winner alone is consumed and
+        // processed; losers stay stashed for the caller to discard.
+        // Waiting for all candidates (not just the first arrival in
+        // real time) is what keeps the winner — and therefore every
+        // virtual timestamp downstream — deterministic.
+        let deadline = Instant::now() + timeout;
+        // Two-phase death confirmation per candidate: 0 = presumed
+        // live, 1 = flag seen down (re-drain pending), 2 = confirmed
+        // dead with no copy.
+        let mut death_phase: HashMap<usize, u8> = HashMap::new();
+        loop {
+            self.drain_channel();
+            let mut best: Option<(f64, usize)> = None;
+            let mut pending = false;
+            for &s in sources {
+                if let Some(q) = self.stash.get(&(s, tag)) {
+                    if let Some(&(t, _)) = q.front() {
+                        match best {
+                            Some((bt, bs)) if (bt, bs) <= (t, s) => {}
+                            _ => best = Some((t, s)),
+                        }
+                        continue;
+                    }
+                }
+                let phase = death_phase.entry(s).or_insert(0);
+                match *phase {
+                    2 => {}
+                    1 => *phase = 2, // we re-drained since seeing the flag down
+                    _ => {
+                        if self.alive[s].load(Ordering::SeqCst) {
+                            pending = true;
+                        } else {
+                            *phase = 1;
+                            pending = true; // confirm on the next pass
+                        }
+                    }
+                }
+            }
+            if !pending {
+                return match best {
+                    Some((_, src)) => {
+                        let (deliver_t, payload) =
+                            self.take_stashed(src, tag).expect("winner stashed");
+                        let done = self.process(deliver_t, payload.len());
+                        self.t_local = self.t_local.max(done);
+                        Ok((src, payload))
+                    }
+                    None => Err(CommError::TimeoutAny {
+                        sources: sources.to_vec(),
+                        tag,
+                    }),
+                };
+            }
+            // Still waiting on at least one live candidate (or on a
+            // death-confirming re-drain).
+            if death_phase.values().any(|&p| p == 1) {
+                continue; // re-drain immediately, no block
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(CommError::TimeoutAny {
+                    sources: sources.to_vec(),
+                    tag,
+                });
+            }
+            match self.rx.recv_timeout(remaining.min(LIVENESS_POLL)) {
+                Ok(env) => self.accept(env),
+                Err(RecvTimeoutError::Timeout) => {} // poll liveness again
+                Err(RecvTimeoutError::Disconnected) => return Err(CommError::Closed),
             }
         }
-        let (deliver_t, src, payload) = best.expect("nonempty live set");
-        let done = self.process(deliver_t, payload.len());
-        self.t_local = self.t_local.max(done);
-        Ok((src, payload))
+    }
+
+    fn discard(&mut self, sources: &[usize], tag: Tag) {
+        if self.dark {
+            return;
+        }
+        self.drain_channel();
+        for &s in sources {
+            if self.take_stashed(s, tag).is_some() {
+                continue;
+            }
+            let n = self.pending_discards.entry((s, tag)).or_insert(0);
+            if *n == 0 {
+                self.discard_order.push_back((s, tag));
+            }
+            *n += 1;
+        }
+        while self.pending_discards.len() > MAX_PENDING_DISCARDS {
+            match self.discard_order.pop_front() {
+                Some(key) => {
+                    self.pending_discards.remove(&key);
+                }
+                None => break,
+            }
+        }
     }
 
     fn now(&self) -> f64 {
@@ -253,12 +424,51 @@ impl Comm for SimComm {
     }
 }
 
+impl RawComm for SimComm {
+    fn recv_raw_timeout(&mut self, timeout: Duration) -> Result<Option<RawMessage>, CommError> {
+        if self.crashed() {
+            return Err(CommError::Crashed { rank: self.rank });
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.drain_channel();
+            // Deterministic pick: earliest virtual delivery, ties broken
+            // by (src, tag).
+            let mut best: Option<(f64, usize, Tag)> = None;
+            for (&(src, tag), q) in &self.stash {
+                if let Some(&(t, _)) = q.front() {
+                    match best {
+                        Some((bt, bs, btag)) if (bt, bs, btag.raw()) <= (t, src, tag.raw()) => {}
+                        _ => best = Some((t, src, tag)),
+                    }
+                }
+            }
+            if let Some((_, src, tag)) = best {
+                let (deliver_t, payload) = self.take_stashed(src, tag).expect("nonempty");
+                let done = self.process(deliver_t, payload.len());
+                self.t_local = self.t_local.max(done);
+                return Ok(Some(RawMessage { src, tag, payload }));
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Ok(None);
+            }
+            match self.rx.recv_timeout(remaining) {
+                Ok(env) => self.accept(env),
+                Err(RecvTimeoutError::Timeout) => return Ok(None),
+                Err(RecvTimeoutError::Disconnected) => return Err(CommError::Closed),
+            }
+        }
+    }
+}
+
 /// Builder/runner for a simulated cluster.
 pub struct SimCluster {
     m: usize,
     nic: NicModel,
     seed: u64,
     dead: Vec<usize>,
+    crashes: Vec<(usize, f64)>,
     stats: Arc<TrafficStats>,
     trace: Option<Arc<Trace>>,
     slowdowns: Vec<(usize, f64)>,
@@ -273,6 +483,7 @@ impl SimCluster {
             nic,
             seed: 0,
             dead: Vec::new(),
+            crashes: Vec::new(),
             stats: TrafficStats::new_shared(),
             trace: None,
             slowdowns: Vec::new(),
@@ -314,6 +525,30 @@ impl SimCluster {
         self
     }
 
+    /// Crash `rank` mid-run, at virtual time `t`: it runs normally
+    /// until its local clock reaches `t`, then goes dark (fail-stop).
+    /// Because the trigger is virtual time, the crash point — and every
+    /// downstream virtual timestamp — is deterministic.
+    pub fn crash_at(mut self, rank: usize, t: f64) -> Self {
+        assert!(rank < self.m, "rank {rank} out of range");
+        assert!(t >= 0.0 && t.is_finite(), "bad crash time {t}");
+        self.crashes.push((rank, t));
+        self
+    }
+
+    /// Adopt every `Crash::AtTime` event of a
+    /// [`FaultPlan`](kylix_net::FaultPlan) as a native virtual-time
+    /// crash. Prefer this over wrapping `SimComm` in a
+    /// `ChaosComm` for crashes: a native crash flips the shared
+    /// liveness flag, so racing peers stop waiting for the dead rank.
+    /// (Link faults still need the wrapper.)
+    pub fn with_faults(mut self, plan: &FaultPlan) -> Self {
+        for (rank, t) in plan.time_crashes() {
+            self = self.crash_at(rank, t);
+        }
+        self
+    }
+
     /// Shared traffic statistics (readable after `run`).
     pub fn traffic(&self) -> TrafficReport {
         self.stats.report()
@@ -330,11 +565,11 @@ impl SimCluster {
         R: Send,
         F: Fn(SimComm) -> R + Sync,
     {
-        let mut alive = vec![true; self.m];
-        for &d in &self.dead {
-            alive[d] = false;
-        }
-        let alive = Arc::new(alive);
+        let alive: Arc<Vec<AtomicBool>> = Arc::new(
+            (0..self.m)
+                .map(|r| AtomicBool::new(!self.dead.contains(&r)))
+                .collect(),
+        );
         let mut txs = Vec::with_capacity(self.m);
         let mut rxs = Vec::with_capacity(self.m);
         for _ in 0..self.m {
@@ -357,6 +592,8 @@ impl SimCluster {
                 stats: Arc::clone(&self.stats),
                 trace: self.trace.clone(),
                 stash: HashMap::new(),
+                pending_discards: HashMap::new(),
+                discard_order: VecDeque::new(),
                 t_local: 0.0,
                 nic_free: 0.0,
                 workers: vec![0.0; self.nic.workers],
@@ -366,6 +603,12 @@ impl SimCluster {
                     .iter()
                     .find(|(r, _)| *r == rank)
                     .map_or(1.0, |(_, f)| *f),
+                crash_t: self
+                    .crashes
+                    .iter()
+                    .find(|(r, _)| *r == rank)
+                    .map(|(_, t)| *t),
+                dark: false,
             })
             .collect();
         std::thread::scope(|s| {
@@ -373,7 +616,7 @@ impl SimCluster {
                 .into_iter()
                 .enumerate()
                 .map(|(rank, comm)| {
-                    if alive[rank] {
+                    if !self.dead.contains(&rank) {
                         Some(s.spawn(|| f(comm)))
                     } else {
                         None
@@ -575,6 +818,29 @@ mod tests {
     }
 
     #[test]
+    fn racing_leaves_loser_for_discard() {
+        let cluster = SimCluster::new(3, NicModel::ec2_10g_nojitter());
+        let out = cluster.run_all(|mut c| match c.rank() {
+            0 | 1 => {
+                c.send(2, t(0, 0), Bytes::from(vec![c.rank() as u8; 100]));
+                (0, 0)
+            }
+            _ => {
+                let losers: Vec<usize> = {
+                    let (src, _) = c.recv_any(&[0, 1], t(0, 0)).unwrap();
+                    [0, 1].iter().copied().filter(|&s| s != src).collect()
+                };
+                let before = c.stash_len();
+                c.discard(&losers, t(0, 0));
+                (before, c.stash_len())
+            }
+        });
+        let (before, after) = out[2];
+        assert_eq!(before, 1, "losing copy stays stashed until discarded");
+        assert_eq!(after, 0, "discard collects it");
+    }
+
+    #[test]
     fn dead_rank_times_out_selective_recv() {
         let cluster = SimCluster::new(2, NicModel::ideal(1e9)).failures(&[0]);
         let out = cluster.run(|mut c| {
@@ -598,6 +864,107 @@ mod tests {
             _ => None,
         });
         assert_eq!(out[2], Some(Some(1)));
+    }
+
+    #[test]
+    fn recv_any_times_out_when_all_sources_dead() {
+        let cluster = SimCluster::new(3, NicModel::ideal(1e9)).failures(&[0, 1]);
+        let out = cluster.run(|mut c| {
+            if c.rank() == 2 {
+                match c.recv_any_timeout(&[0, 1], t(0, 0), Duration::from_secs(5)) {
+                    Err(CommError::TimeoutAny { sources, .. }) => Some(sources),
+                    other => panic!("expected TimeoutAny, got {other:?}"),
+                }
+            } else {
+                None
+            }
+        });
+        assert_eq!(out[2], Some(Some(vec![0, 1])));
+    }
+
+    #[test]
+    fn mid_run_crash_goes_dark_at_virtual_time() {
+        // Rank 0 sends one message, burns 1.0s of virtual compute, then
+        // crashes at t=0.5 (so the second send is swallowed).
+        let cluster = SimCluster::new(2, NicModel::ideal(1e9)).crash_at(0, 0.5);
+        let out = cluster.run_all(|mut c| {
+            if c.rank() == 0 {
+                c.send(1, t(0, 0), Bytes::from_static(b"before"));
+                c.charge_compute(1.0);
+                c.send(1, t(0, 1), Bytes::from_static(b"after")); // dark
+                let crashed = matches!(
+                    c.recv_timeout(1, t(0, 2), Duration::from_millis(5)),
+                    Err(CommError::Crashed { rank: 0 })
+                );
+                (true, crashed)
+            } else {
+                let first = c.recv(0, t(0, 0)).is_ok();
+                let second = c
+                    .recv_timeout(0, t(0, 1), Duration::from_millis(100))
+                    .is_ok();
+                (first, second)
+            }
+        });
+        assert_eq!(out[1], (true, false), "post-crash send must vanish");
+        assert_eq!(out[0], (true, true), "crashed rank observes Crashed");
+    }
+
+    #[test]
+    fn mid_run_crash_is_observed_by_racers() {
+        // Replica pair (0, 1) serves rank 2; replica 1 crashes before
+        // sending. The race must complete with 0's copy rather than
+        // waiting out the full timeout.
+        let cluster = SimCluster::new(3, NicModel::ideal(1e9)).crash_at(1, 0.0);
+        let out = cluster.run_all(|mut c| match c.rank() {
+            0 => {
+                c.send(2, t(0, 0), Bytes::from_static(b"live"));
+                None
+            }
+            1 => {
+                // First op fires the crash (t_local = 0 >= 0).
+                c.send(2, t(0, 0), Bytes::from_static(b"never"));
+                None
+            }
+            _ => {
+                let start = Instant::now();
+                let (src, _) = c
+                    .recv_any_timeout(&[0, 1], t(0, 0), Duration::from_secs(30))
+                    .unwrap();
+                assert!(
+                    start.elapsed() < Duration::from_secs(5),
+                    "race must not wait out the timeout"
+                );
+                Some(src)
+            }
+        });
+        assert_eq!(out[2], Some(0));
+    }
+
+    #[test]
+    fn crash_sweep_is_deterministic() {
+        let run = || {
+            let nic = NicModel::ec2_10g().with_jitter(0.3);
+            let cluster = SimCluster::new(4, nic).seed(7).crash_at(3, 0.0);
+            cluster.run_all(|mut c| {
+                let me = c.rank();
+                for to in 0..4 {
+                    if to != me {
+                        c.send(to, t(0, 0), Bytes::from(vec![0u8; 10_000]));
+                    }
+                }
+                let mut got = 0u32;
+                for from in 0..4 {
+                    if from != me
+                        && c.recv_timeout(from, t(0, 0), Duration::from_millis(200))
+                            .is_ok()
+                    {
+                        got += 1;
+                    }
+                }
+                (got, c.now())
+            })
+        };
+        assert_eq!(run(), run(), "crash runs must be bit-reproducible");
     }
 
     #[test]

@@ -32,7 +32,11 @@ pub fn measure_throughput(nic: NicModel, packet_bytes: usize, count: usize) -> T
     let times = cluster.run_all(|mut c| {
         if c.rank() == 0 {
             for i in 0..count {
-                c.send(1, Tag::new(Phase::App, 0, i as u32), Bytes::from(vec![0u8; packet_bytes]));
+                c.send(
+                    1,
+                    Tag::new(Phase::App, 0, i as u32),
+                    Bytes::from(vec![0u8; packet_bytes]),
+                );
             }
             0.0
         } else {

@@ -184,7 +184,10 @@ mod tests {
 
     #[test]
     fn paper_degrees_multiply_to_64() {
-        for spec in [DatasetSpec::twitter_like(1000), DatasetSpec::yahoo_like(1000)] {
+        for spec in [
+            DatasetSpec::twitter_like(1000),
+            DatasetSpec::yahoo_like(1000),
+        ] {
             let prod: usize = spec.paper_degrees.iter().product();
             assert_eq!(prod, 64, "{}", spec.name);
         }

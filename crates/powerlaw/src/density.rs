@@ -244,10 +244,7 @@ mod tests {
         let (lo, hi) = ds
             .iter()
             .fold((f64::MAX, f64::MIN), |(l, h), &d| (l.min(d), h.max(d)));
-        assert!(
-            hi - lo < 0.3,
-            "α-dependence too strong: {ds:?}"
-        );
+        assert!(hi - lo < 0.3, "α-dependence too strong: {ds:?}");
     }
 
     #[test]

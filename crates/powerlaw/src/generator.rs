@@ -180,8 +180,7 @@ mod tests {
         let n_draws = 30_000usize;
         let model = DensityModel::new(n, alpha);
         let g = PartitionGenerator::new(model, 1.0, 5); // λ0 unused by draws
-        let d: std::collections::HashSet<u64> =
-            g.draws(0, n_draws).into_iter().collect();
+        let d: std::collections::HashSet<u64> = g.draws(0, n_draws).into_iter().collect();
         let measured = d.len() as f64 / n as f64;
         let predicted = model.density(lambda_for_draws(n, alpha, n_draws as u64));
         // The Zipf sampler discretises the continuous power law, which

@@ -182,7 +182,10 @@ mod tests {
     fn power_law_graph_has_requested_shape() {
         let g = EdgeList::power_law(1000, 20_000, 1.2, 1.2, 4);
         assert_eq!(g.len(), 20_000);
-        assert!(g.edges.iter().all(|&(s, d)| (s as u64) < 1000 && (d as u64) < 1000));
+        assert!(g
+            .edges
+            .iter()
+            .all(|&(s, d)| (s as u64) < 1000 && (d as u64) < 1000));
     }
 
     #[test]

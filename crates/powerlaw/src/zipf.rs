@@ -109,10 +109,7 @@ mod tests {
             let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
             let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
             let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
-            assert!(
-                (slope + alpha).abs() < 0.12,
-                "alpha {alpha}: slope {slope}"
-            );
+            assert!((slope + alpha).abs() < 0.12, "alpha {alpha}: slope {slope}");
         }
     }
 

@@ -35,7 +35,10 @@ impl IndexSet {
     ///
     /// Panics in debug builds if the invariant does not hold.
     pub fn from_sorted_keys(keys: Vec<Key>) -> Self {
-        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys not sorted/unique");
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "keys not sorted/unique"
+        );
         Self { keys }
     }
 
@@ -79,7 +82,9 @@ impl IndexSet {
 
     /// The position range `[start, end)` of keys whose hash lies in `range`.
     pub fn span_of(&self, range: &HashRange) -> std::ops::Range<usize> {
-        let start = self.keys.partition_point(|k| (k.hash as u128) < range.lo() as u128);
+        let start = self
+            .keys
+            .partition_point(|k| (k.hash as u128) < range.lo() as u128);
         let end = self.keys.partition_point(|k| (k.hash as u128) < range.hi());
         start..end
     }

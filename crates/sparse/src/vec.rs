@@ -195,11 +195,7 @@ mod tests {
     fn iter_yields_hash_order() {
         let v = SparseVec::from_pairs([(5u64, 1.0f64), (6, 2.0), (7, 3.0)], SumReducer);
         let from_iter: Vec<(u64, f64)> = v.iter().collect();
-        let expect: Vec<(u64, f64)> = v
-            .keys()
-            .indices()
-            .map(|i| (i, v.get(i).unwrap()))
-            .collect();
+        let expect: Vec<(u64, f64)> = v.keys().indices().map(|i| (i, v.get(i).unwrap())).collect();
         assert_eq!(from_iter, expect);
     }
 }

@@ -3,9 +3,7 @@
 
 use kylix_sparse::merge::hash_union;
 use kylix_sparse::vec::{gather, scatter_combine};
-use kylix_sparse::{
-    merge_union, mix64, tree_merge, HashRange, IndexSet, Key, SumReducer,
-};
+use kylix_sparse::{merge_union, mix64, tree_merge, HashRange, IndexSet, Key, SumReducer};
 use proptest::prelude::*;
 
 fn arb_indices(max_len: usize, universe: u64) -> impl Strategy<Value = Vec<u64>> {

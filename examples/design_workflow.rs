@@ -37,7 +37,10 @@ fn main() {
         ..NicModel::ec2_10g_collective()
     };
     let min_packet = nic.min_efficient_packet(0.8);
-    println!("minimum efficient packet at 80% utilisation: {:.1} KB", min_packet / 1e3);
+    println!(
+        "minimum efficient packet at 80% utilisation: {:.1} KB",
+        min_packet / 1e3
+    );
 
     // Step 3: walk the layers.
     let input = DesignInput {

@@ -1,13 +1,16 @@
 //! Replication and packet racing (§V): run a replicated allreduce on
 //! the simulator, kill nodes, and watch the collective finish anyway —
-//! then wipe out a whole replica group and watch it fail loudly.
+//! then wipe out a whole replica group and watch it fail loudly. The
+//! later scenarios exercise the chaos layer: replicas crashing in the
+//! *middle* of the protocol, and an unreplicated run over lossy links
+//! repaired by the ack/retransmit layer.
 //!
 //! ```text
 //! cargo run --release --example fault_tolerance
 //! ```
 
 use kylix::{Kylix, NetworkPlan, ReplicatedComm};
-use kylix_net::Comm;
+use kylix_net::{Comm, FaultPlan, LocalCluster, ReliableComm};
 use kylix_netsim::{NicModel, SimCluster};
 use kylix_sparse::SumReducer;
 use std::time::Duration;
@@ -78,4 +81,56 @@ fn main() {
     let failures = outcomes.iter().flatten().filter(|r| r.is_err()).count();
     println!("  {failures} surviving ranks reported a communication failure");
     assert!(failures > 0, "a wiped replica group must surface errors");
+
+    println!("\ncrash 2 replicas MID-protocol (virtual-time crash, not dead at start):");
+    // Unlike `failures(..)`, a `crash_at` node participates normally
+    // until its crash time, then goes dark; survivors race past it.
+    let cluster = SimCluster::new(16, NicModel::ec2_10g().with_jitter(0.3))
+        .seed(7)
+        .crash_at(9, 5e-5)
+        .crash_at(10, 8e-5);
+    let outcomes = cluster.run(|comm| {
+        let mut rc = ReplicatedComm::new(comm, 2);
+        let me = rc.rank() as u64;
+        let kylix = Kylix::new(NetworkPlan::new(&[4, 2]));
+        kylix
+            .allreduce_combined(&mut rc, &[0u64], &[me % 4], &[1.0f64], SumReducer, 0)
+            .ok()
+            .map(|(v, _)| v[0])
+    });
+    let alive: Vec<f64> = outcomes.iter().flatten().flatten().copied().collect();
+    println!(
+        "  {}/16 physical ranks completed; survivors all agree: v[0] = {:?}",
+        alive.len(),
+        alive[0]
+    );
+    assert!(
+        alive.len() >= 14,
+        "at most the crashed replicas may drop out"
+    );
+    assert!(alive.iter().all(|&v| v == 2.0));
+
+    println!("\nlossy links, NO replication — ReliableComm retransmits through 15% loss:");
+    let faults = FaultPlan::new(11)
+        .drop_rate(0.15)
+        .duplicate_rate(0.05)
+        .corrupt_rate(0.02);
+    let out = LocalCluster::run_with_faults(8, &faults, |chaos| {
+        let mut comm = ReliableComm::new(chaos);
+        let me = comm.rank() as u64;
+        let kylix = Kylix::new(NetworkPlan::new(&[4, 2]));
+        let v = kylix
+            .allreduce_combined(&mut comm, &[0u64], &[me % 4], &[1.0f64], SumReducer, 0)
+            .map(|(v, _)| v[0])
+            .expect("reliable delivery must complete despite loss");
+        let stats = comm.flush().expect("flush");
+        (v, stats.retransmits, stats.duplicates_dropped)
+    });
+    let rexmit: u64 = out.iter().map(|(_, r, _)| r).sum();
+    let dups: u64 = out.iter().map(|(_, _, d)| d).sum();
+    println!(
+        "  all 8 ranks correct (v[0] = {}), {rexmit} retransmissions, {dups} duplicates dropped",
+        out[0].0
+    );
+    assert!(out.iter().all(|(v, _, _)| *v == 2.0));
 }

@@ -72,8 +72,7 @@ fn main() {
     let estimates = LocalCluster::run(m, |mut comm| {
         let me = comm.rank();
         let kylix = Kylix::new(plan.clone());
-        distributed_diameter(&mut comm, &kylix, &parts[me].edges, n, 16, 12, 77)
-            .expect("diameter")
+        distributed_diameter(&mut comm, &kylix, &parts[me].edges, n, 16, 12, 77).expect("diameter")
     });
     let d = estimates[0].effective_diameter;
     assert!(estimates.iter().all(|e| e.effective_diameter == d));

@@ -53,11 +53,8 @@ fn main() {
         let mut worker = SgdWorker::new(me, m, n_features, lr);
         (0..rounds)
             .map(|r| {
-                let batch = make_batch(
-                    n_features,
-                    per_batch,
-                    mix_many(&[999, r as u64, me as u64]),
-                );
+                let batch =
+                    make_batch(n_features, per_batch, mix_many(&[999, r as u64, me as u64]));
                 worker
                     .step(&mut comm, &kylix, &batch, r as u32 + 1)
                     .expect("sgd step")
@@ -81,6 +78,9 @@ fn main() {
     };
     let early = window(0..5);
     let late = window(rounds - 5..rounds);
-    assert!(late < early * 0.75, "training failed to reduce loss: {early:.4} -> {late:.4}");
+    assert!(
+        late < early * 0.75,
+        "training failed to reduce loss: {early:.4} -> {late:.4}"
+    );
     println!("\nmean loss fell {early:.4} -> {late:.4} ✓");
 }

@@ -18,7 +18,12 @@ fn main() {
     // topology is the paper's contribution; [8] would be direct
     // all-to-all and [2,2,2] the binary butterfly).
     let plan = NetworkPlan::new(&[4, 2]);
-    println!("topology: {} ({} nodes, {} layers)", plan, plan.size(), plan.layers());
+    println!(
+        "topology: {} ({} nodes, {} layers)",
+        plan,
+        plan.size(),
+        plan.layers()
+    );
 
     let results = LocalCluster::run(m, |mut comm| {
         let me = comm.rank() as u64;

@@ -29,7 +29,10 @@ fn makespan(cluster: &SimCluster, plan: &NetworkPlan, indices: &[Vec<u64>]) -> f
 
 fn main() {
     let nic = NicModel::ec2_10g();
-    println!("EC2-calibrated NIC: {:.2} ms/message overhead, 10 Gb/s,", nic.overhead * 1e3);
+    println!(
+        "EC2-calibrated NIC: {:.2} ms/message overhead, 10 Gb/s,",
+        nic.overhead * 1e3
+    );
     println!(
         "minimum efficient packet (80% of peak): {:.1} MB\n",
         nic.min_efficient_packet(0.8) / 1e6
@@ -45,12 +48,19 @@ fn main() {
     // 1. Deterministic virtual time.
     let t1 = makespan(&SimCluster::new(m, nic).seed(1), &plan, &indices);
     let t2 = makespan(&SimCluster::new(m, nic).seed(1), &plan, &indices);
-    println!("1. determinism: two seed-1 runs -> {:.3} ms == {:.3} ms", t1 * 1e3, t2 * 1e3);
+    println!(
+        "1. determinism: two seed-1 runs -> {:.3} ms == {:.3} ms",
+        t1 * 1e3,
+        t2 * 1e3
+    );
     assert_eq!(t1, t2);
 
     // 2. Jitter moves time (never results).
     let t3 = makespan(&SimCluster::new(m, nic).seed(2), &plan, &indices);
-    println!("2. jitter seed 2 -> {:.3} ms (different tail draws)", t3 * 1e3);
+    println!(
+        "2. jitter seed 2 -> {:.3} ms (different tail draws)",
+        t3 * 1e3
+    );
 
     // 3. Tracing: where did the bytes go?
     let traced = SimCluster::new(m, nic).seed(1).traced();

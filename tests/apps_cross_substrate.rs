@@ -52,7 +52,9 @@ fn bfs_replicated_with_failure_matches_reference() {
     let expected = bfs_reference(n, &g.edges, 1);
     let parts = split_edges(&g.edges, 4);
     // 8 physical = 4 logical x 2; one replica dead.
-    let cluster = SimCluster::new(8, NicModel::ec2_10g()).seed(2).failures(&[5]);
+    let cluster = SimCluster::new(8, NicModel::ec2_10g())
+        .seed(2)
+        .failures(&[5]);
     let results = cluster.run(|comm| {
         let mut rc = ReplicatedComm::new(comm, 2);
         let me = kylix_net::Comm::rank(&rc);

@@ -64,9 +64,15 @@ fn simulated_pagerank_matches_thread_pagerank() {
     };
     let on_threads: Vec<Vec<(u64, f64)>> = LocalCluster::run(m, |mut comm| {
         let me = comm.rank();
-        distributed_pagerank(&mut comm, &Kylix::new(plan.clone()), spec.n_vertices, &parts[me].edges, &cfg)
-            .unwrap()
-            .ranks
+        distributed_pagerank(
+            &mut comm,
+            &Kylix::new(plan.clone()),
+            spec.n_vertices,
+            &parts[me].edges,
+            &cfg,
+        )
+        .unwrap()
+        .ranks
     });
     let cluster = SimCluster::new(m, NicModel::ec2_10g()).seed(9);
     let on_sim: Vec<(Vec<(u64, f64)>, f64)> = cluster.run_all(|mut comm| {
@@ -102,7 +108,9 @@ fn replicated_pagerank_survives_failures_on_simulator() {
     };
     let expected = Csr::from_edges(n, &graph.edges).pagerank_reference(iters, 0.85);
     // 8 physical = 4 logical x 2; kill one replica of logical 2.
-    let cluster = SimCluster::new(8, NicModel::ec2_10g()).seed(11).failures(&[6]);
+    let cluster = SimCluster::new(8, NicModel::ec2_10g())
+        .seed(11)
+        .failures(&[6]);
     let outcomes = cluster.run(|comm| {
         let mut rc = ReplicatedComm::new(comm, 2);
         let me = rc.rank();
@@ -123,7 +131,10 @@ fn replicated_pagerank_survives_failures_on_simulator() {
             continue;
         }
         for &(v, r) in ranks.as_ref().unwrap() {
-            assert!((r - expected[v as usize]).abs() < 1e-9, "phys {phys} vertex {v}");
+            assert!(
+                (r - expected[v as usize]).abs() < 1e-9,
+                "phys {phys} vertex {v}"
+            );
             checked += 1;
         }
     }

@@ -12,14 +12,12 @@ fn workload_u64(m: usize, n_features: u64, seed: u64) -> Vec<NodeContribution<u6
     let nodes: Vec<NodeContribution<u64>> = (0..m)
         .map(|_| {
             let k_out = 1 + rng.next_index(25);
-            let out_indices: Vec<u64> =
-                (0..k_out).map(|_| rng.next_below(n_features)).collect();
+            let out_indices: Vec<u64> = (0..k_out).map(|_| rng.next_below(n_features)).collect();
             let out_values: Vec<u64> = (0..out_indices.len())
                 .map(|_| rng.next_below(1000) + 1)
                 .collect();
             let k_in = 1 + rng.next_index(20);
-            let in_indices: Vec<u64> =
-                (0..k_in).map(|_| rng.next_below(n_features)).collect();
+            let in_indices: Vec<u64> = (0..k_in).map(|_| rng.next_below(n_features)).collect();
             NodeContribution {
                 in_indices,
                 out_indices,
