@@ -1,16 +1,17 @@
 //! Regenerate every table and figure of the Kylix paper's evaluation.
 //!
 //! ```text
-//! figures [fig2|fig4|fig5|fig6|fig7|table1|fig8|fig9|faults|all] \
+//! figures [fig2|fig4|fig5|fig6|fig7|table1|fig8|fig9|faults|straggler|all] \
 //!     [--scale N] [--seed N] [--quick] [--json PATH]
 //! ```
 //!
 //! Each experiment prints an aligned text table; `--json` additionally
 //! dumps machine-readable rows (used to refresh EXPERIMENTS.md).
-//! `--quick` trims the fault sweep to its CI-smoke subset.
+//! `--quick` trims the fault and straggler sweeps to their CI-smoke
+//! subsets.
 
 use kylix_bench::{
-    ablation, fault_sweep, fig2, fig4, fig5, fig6, fig7, fig8, fig9, print_table, table1,
+    ablation, fault_sweep, fig2, fig4, fig5, fig6, fig7, fig8, fig9, print_table, straggler, table1,
 };
 use std::collections::BTreeMap;
 
@@ -38,7 +39,7 @@ fn parse_args() -> Args {
             "--json" => json = Some(it.next().expect("--json PATH")),
             "-h" | "--help" => {
                 eprintln!(
-                    "usage: figures [fig2|fig4|fig5|fig6|fig7|table1|fig8|fig9|faults|all]… \
+                    "usage: figures [fig2|fig4|fig5|fig6|fig7|table1|fig8|fig9|faults|straggler|all]… \
                      [--scale N] [--seed N] [--quick] [--json PATH]"
                 );
                 std::process::exit(0);
@@ -58,6 +59,7 @@ fn parse_args() -> Args {
             "fig9",
             "ablations",
             "faults",
+            "straggler",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -395,6 +397,36 @@ fn main() {
                             "time": r.time,
                             "overhead": r.overhead,
                             "retransmits": r.retransmits,
+                        }))
+                        .collect::<Vec<_>>()),
+                );
+            }
+            "straggler" => {
+                let rows = straggler::run(args.scale, args.seed, args.quick);
+                print_table(
+                    "Straggler sweep — fixed vs arrival-order receives (full-scale s/op)",
+                    &["skew", "fixed s", "arrival s", "speedup"],
+                    &rows
+                        .iter()
+                        .map(|r| {
+                            vec![
+                                format!("{:.0}x", r.skew),
+                                format!("{:.4}", r.fixed),
+                                format!("{:.4}", r.arrival),
+                                format!("{:.2}x", r.speedup),
+                            ]
+                        })
+                        .collect::<Vec<_>>(),
+                );
+                json_out.insert(
+                    "straggler".into(),
+                    serde_json::json!(rows
+                        .iter()
+                        .map(|r| serde_json::json!({
+                            "skew": r.skew,
+                            "fixed": r.fixed,
+                            "arrival": r.arrival,
+                            "speedup": r.speedup,
                         }))
                         .collect::<Vec<_>>()),
                 );

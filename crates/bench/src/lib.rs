@@ -32,6 +32,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod scaling;
+pub mod straggler;
 pub mod table1;
 pub mod workload;
 

@@ -27,7 +27,7 @@
 //! `CommError::Corrupt` with the sender's identity attached.
 
 use crate::error::{KylixError, Result};
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use kylix_net::checksum;
 use kylix_sparse::{Key, Scalar};
 
@@ -110,9 +110,11 @@ impl<'a> Decoder<'a> {
     fn count(&mut self, what: &'static str) -> Result<usize> {
         let raw = self.take(8, what)?;
         let n = u64::from_le_bytes(raw.try_into().expect("8 bytes"));
-        // Sanity: a count can never exceed the remaining buffer even at
-        // one byte per element.
-        if n as usize > self.buf.len() {
+        // Sanity: a count can never exceed the bytes *remaining* in the
+        // body even at one byte per element. Bounding against the whole
+        // body would let a later section of a combined message claim
+        // bytes already consumed by earlier sections.
+        if n as usize > self.buf.len() - self.pos {
             return Err(KylixError::Codec { what });
         }
         Ok(n as usize)
@@ -130,9 +132,18 @@ impl<'a> Decoder<'a> {
 
     /// Read a value vector of scalars.
     pub fn values<V: Scalar>(&mut self) -> Result<Vec<V>> {
+        let (_, raw) = self.raw_values::<V>()?;
+        Ok(raw.chunks_exact(V::WIDTH).map(V::read_le).collect())
+    }
+
+    /// Read a value section *without* materialising a `Vec`: returns the
+    /// element count and the packed little-endian body. Pair with
+    /// `kylix_sparse::vec::scatter_combine_le` / `copy_from_le` to fuse
+    /// decoding with the combine, the reduction hot path.
+    pub fn raw_values<V: Scalar>(&mut self) -> Result<(usize, &'a [u8])> {
         let n = self.count("value count")?;
         let raw = self.take(n * V::WIDTH, "value data")?;
-        Ok(raw.chunks_exact(V::WIDTH).map(V::read_le).collect())
+        Ok((n, raw))
     }
 
     /// All body bytes consumed?
@@ -158,6 +169,29 @@ pub fn encode_values<V: Scalar>(vals: &[V]) -> Bytes {
     let mut buf = Vec::with_capacity(8 + vals.len() * V::WIDTH + SEAL_LEN);
     put_values(&mut buf, vals);
     seal(buf)
+}
+
+/// Encode a sealed value vector into a pooled send arena.
+///
+/// The arena must be empty on entry (it always is after the previous
+/// `split`); the message is written in place and split off as an
+/// immutable [`Bytes`]. Once every receiver drops its handle the arena's
+/// `reserve` reclaims the backing storage, so a steady-state reduce loop
+/// stops allocating per message — the zero-copy half of the paper's
+/// §VI.B "multi-threaded opportunistic communication" hot path.
+pub fn encode_values_into<V: Scalar>(arena: &mut BytesMut, vals: &[V]) -> Bytes {
+    debug_assert!(arena.is_empty(), "send arena must start empty");
+    let body = 8 + vals.len() * V::WIDTH;
+    arena.reserve(body + SEAL_LEN);
+    arena.extend_from_slice(&(vals.len() as u64).to_le_bytes());
+    let start = arena.len();
+    arena.resize(start + vals.len() * V::WIDTH, 0);
+    for (v, chunk) in vals.iter().zip(arena[start..].chunks_exact_mut(V::WIDTH)) {
+        v.write_le_slice(chunk);
+    }
+    let sum = checksum(&arena[..]);
+    arena.extend_from_slice(&sum.to_le_bytes());
+    arena.split().freeze()
 }
 
 /// Decode a standalone value vector.
@@ -216,6 +250,50 @@ mod tests {
         assert_eq!(d.values::<f64>().unwrap(), vals);
         assert_eq!(d.keys().unwrap(), inn.keys());
         assert!(d.finished());
+    }
+
+    #[test]
+    fn encode_values_into_matches_encode_values() {
+        let vals = vec![1.5f64, -2.25, 1e300];
+        let mut arena = BytesMut::new();
+        for _ in 0..3 {
+            // Repeated use of the same arena must keep producing
+            // byte-identical frames to the allocating encoder.
+            let pooled = encode_values_into(&mut arena, &vals);
+            assert_eq!(&pooled[..], &encode_values(&vals)[..]);
+            assert_eq!(decode_values::<f64>(&pooled).unwrap(), vals);
+        }
+        let empty = encode_values_into(&mut arena, &[] as &[u32]);
+        assert_eq!(&empty[..], &encode_values::<u32>(&[])[..]);
+    }
+
+    #[test]
+    fn raw_values_exposes_the_packed_body() {
+        let vals = vec![0.5f64, 1.5];
+        let enc = encode_values(&vals);
+        let mut d = Decoder::new(&enc).unwrap();
+        let (n, raw) = d.raw_values::<f64>().unwrap();
+        assert_eq!(n, 2);
+        let expect: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        assert_eq!(raw, &expect[..]);
+        assert!(d.finished());
+    }
+
+    #[test]
+    fn count_is_bounded_by_remaining_bytes() {
+        // A combined message whose *second* section claims more elements
+        // than the bytes left after the first — but fewer than the whole
+        // body. The old whole-body bound let this through to `take`,
+        // which rejected it only by luck of widths; the count check must
+        // catch it outright.
+        let mut buf = Vec::new();
+        put_keys(&mut buf, IndexSet::from_indices([1u64, 2, 3, 4]).keys());
+        buf.extend_from_slice(&10u64.to_le_bytes()); // claims 10 values
+        buf.extend_from_slice(&[0u8; 8]); // only 1 u64 of data follows
+        let sealed = seal(buf);
+        let mut d = Decoder::new(&sealed).unwrap();
+        d.keys().unwrap();
+        assert!(d.values::<u64>().is_err(), "oversized section must fail");
     }
 
     #[test]

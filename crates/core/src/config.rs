@@ -33,6 +33,8 @@ use crate::plan::NetworkPlan;
 use kylix_net::{Comm, Phase, Tag};
 use kylix_sparse::vec::scatter_combine;
 use kylix_sparse::{tree_merge, IndexSet, Key, Reducer, Scalar};
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
 use std::ops::Range;
 
 /// Routing state for one communication layer of one node.
@@ -64,6 +66,61 @@ impl LayerRouting {
     }
 }
 
+/// Receive scheduling of the reduction passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecvOrder {
+    /// Block on group members in coordinate order. One slow peer stalls
+    /// the whole layer; kept to benchmark the opportunistic win (and as
+    /// the reference schedule deterministic mode reproduces).
+    Fixed,
+    /// Take slices as they land (`recv_any` over the group) — the
+    /// paper's §VI.B multi-threaded opportunistic communication.
+    #[default]
+    Arrival,
+}
+
+/// Per-value-type scratch slots kept on [`Configured`] between reduce
+/// operations (send arena, accumulators, parked arrivals). The store is
+/// type-erased because `Configured` itself is not generic over the
+/// value type; each `V` gets one slot.
+///
+/// Cloning a `Configured` starts the clone with an empty store —
+/// scratch is a cache, not state.
+#[derive(Default)]
+pub(crate) struct ScratchStore {
+    slots: HashMap<TypeId, Box<dyn Any + Send>>,
+}
+
+impl ScratchStore {
+    /// Remove and return the slot for `T`, or a fresh default. The
+    /// caller puts it back when done — taking it out keeps the borrow
+    /// checker happy while the rest of `self` is read.
+    pub(crate) fn take<T: Default + Send + 'static>(&mut self) -> Box<T> {
+        self.slots
+            .remove(&TypeId::of::<T>())
+            .and_then(|b| b.downcast().ok())
+            .unwrap_or_default()
+    }
+
+    pub(crate) fn put<T: Send + 'static>(&mut self, slot: Box<T>) {
+        self.slots.insert(TypeId::of::<T>(), slot);
+    }
+}
+
+impl std::fmt::Debug for ScratchStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScratchStore")
+            .field("slots", &self.slots.len())
+            .finish()
+    }
+}
+
+impl Clone for ScratchStore {
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
 /// Fully configured routing state for one node: everything reduction
 /// needs, reusable across any number of reduce calls with the same
 /// in/out sets (e.g. every PageRank iteration).
@@ -92,6 +149,19 @@ pub struct Configured {
     pub in_user_map: Vec<u32>,
     /// User out-list position → sorted `out0` position.
     pub out_user_map: Vec<u32>,
+    /// Receive scheduling of the reduction passes (default: arrival
+    /// order, §VI.B).
+    pub recv_order: RecvOrder,
+    /// Deterministic combine order for the down pass: `None` (default)
+    /// resolves per value type — on for order-sensitive scalars
+    /// (floats), off for exact integer reducers; `Some(_)` forces.
+    /// When on, arrival-order receives park out-of-order slices and
+    /// combine in coordinate order, so results are bit-identical to the
+    /// fixed-order schedule.
+    pub deterministic: Option<bool>,
+    /// Pooled per-op buffers, reused across reduce calls (reset on
+    /// clone).
+    pub(crate) scratch: ScratchStore,
 }
 
 /// Sentinel in `bottom_in_to_out` for a requested index no node
@@ -307,12 +377,22 @@ where
             bottom_in_to_out,
             in_user_map,
             out_user_map,
+            recv_order: RecvOrder::default(),
+            deterministic: None,
+            scratch: ScratchStore::default(),
         },
         bottom_values: values,
     })
 }
 
 impl Configured {
+    /// Drop every pooled scratch buffer (send arenas, accumulators).
+    /// The next reduce op re-grows them; useful to trim memory between
+    /// phases, and to measure cold-path allocation in tests.
+    pub fn reset_scratch(&mut self) {
+        self.scratch = ScratchStore::default();
+    }
+
     /// Elements of fully reduced data this node holds at the bottom
     /// (the last bar of the paper's Fig. 5).
     pub fn bottom_elems(&self) -> usize {

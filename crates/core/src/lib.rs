@@ -71,7 +71,7 @@ pub mod replicate;
 pub mod scalar;
 
 pub use allreduce::Kylix;
-pub use config::{Configured, LayerRouting};
+pub use config::{Configured, LayerRouting, RecvOrder};
 pub use design::{optimal_degrees, predict_reduce_time, DesignInput};
 pub use error::{KylixError, Result};
 pub use plan::NetworkPlan;

@@ -15,16 +15,61 @@
 //!   its original partition spans, rebuilding the previous layer's
 //!   in-vector ("simply concatenates them").
 //!
+//! ### The hot path (paper §VI.B)
+//!
+//! The paper credits *multi-threaded opportunistic communication* —
+//! processing slices in arrival order rather than a fixed peer order —
+//! for saturating commodity NICs. Receives here therefore default to
+//! `recv_any` over the group ([`RecvOrder::Arrival`]): one slow peer no
+//! longer stalls the slices that already landed. Because floating-point
+//! addition is not associative, a `deterministic` mode (default for
+//! float scalars) parks out-of-order arrivals and combines them in
+//! coordinate order — bit-identical to the fixed-order schedule — while
+//! exact integer reducers combine immediately on arrival. The up pass
+//! writes disjoint spans, so its arrival order never affects results.
+//!
+//! Steady-state operations are also **allocation-free**: a
+//! [`ReduceScratch`] slot kept on [`Configured`] pools the send arena
+//! (split-and-frozen per message, reclaimed when receivers drop their
+//! handles), ping-pong accumulator buffers, and the gather staging
+//! buffer; received slices are scatter-combined straight from the
+//! verified wire body (`Decoder::raw_values` +
+//! `scatter_combine_le`/`copy_from_le`) without an intermediate
+//! `Vec<V>`.
+//!
 //! A [`crate::config::Configured`] can issue any number of reductions —
 //! the per-iteration path of PageRank-style workloads where the vertex
 //! sets are fixed and only values change.
 
-use crate::codec::{decode_values, encode_values, SEAL_LEN};
-use crate::config::{values_wire_len, Configured};
+use crate::codec::{encode_values_into, Decoder, SEAL_LEN};
+use crate::config::{values_wire_len, Configured, RecvOrder};
 use crate::error::{comm_err, surface_corrupt, KylixError, Result};
+use bytes::{Bytes, BytesMut};
 use kylix_net::{Comm, Phase, Tag};
-use kylix_sparse::vec::{gather, scatter_combine};
+use kylix_sparse::vec::{copy_from_le, gather_into, scatter_combine, scatter_combine_le};
 use kylix_sparse::{Reducer, Scalar};
+
+/// Pooled per-op buffers for one value type, kept on [`Configured`]
+/// between reduce calls (see `ScratchStore`). Everything here is a
+/// cache: dropping it (`Configured::reset_scratch`) only costs the next
+/// op a warm-up.
+#[derive(Debug, Default)]
+pub(crate) struct ReduceScratch<V> {
+    /// Send-buffer arena: each message is written in place, split off as
+    /// `Bytes`, and the backing storage reclaimed once receivers drop it.
+    arena: BytesMut,
+    /// Ping-pong value buffers: `a` holds the current layer's input,
+    /// `b` the accumulator being built; swapped per layer.
+    a: Vec<V>,
+    b: Vec<V>,
+    /// Up-pass gather staging.
+    gathered: Vec<V>,
+    /// Deterministic-mode parking: out-of-order down-pass arrivals per
+    /// coordinate, held until their turn in the combine order.
+    parked: Vec<Option<Bytes>>,
+    /// Peers still outstanding in the current arrival-order loop.
+    pending: Vec<usize>,
+}
 
 impl Configured {
     /// Run one sparse allreduce over previously configured index sets.
@@ -33,6 +78,26 @@ impl Configured {
     /// order (duplicates are combined); the returned vector is aligned
     /// with the original `in_indices` order.
     pub fn reduce<C, V, R>(&mut self, comm: &mut C, out_values: &[V], reducer: R) -> Result<Vec<V>>
+    where
+        C: Comm,
+        V: Scalar,
+        R: Reducer<V>,
+    {
+        let mut out = Vec::with_capacity(self.in_user_map.len());
+        self.reduce_into(comm, out_values, reducer, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::reduce`] into a caller-provided buffer. With the pooled
+    /// scratch this makes steady-state iterations allocation-free end to
+    /// end — the per-iteration path of PageRank-style workloads.
+    pub fn reduce_into<C, V, R>(
+        &mut self,
+        comm: &mut C,
+        out_values: &[V],
+        reducer: R,
+        out: &mut Vec<V>,
+    ) -> Result<()>
     where
         C: Comm,
         V: Scalar,
@@ -49,23 +114,63 @@ impl Configured {
         // channel ids (documented on `Kylix::configure`).
         self.ops_issued += 1;
         let seq = self.channel.wrapping_add(self.ops_issued);
-
-        // User order -> sorted layout, combining duplicate indices.
-        let mut vals = vec![reducer.identity(); self.out0.len()];
-        for (x, &sp) in out_values.iter().zip(&self.out_user_map) {
-            reducer.combine(&mut vals[sp as usize], *x);
-        }
-
-        let bottom = self.down_values(comm, vals, reducer, seq)?;
-        let uvals = self.project_bottom(&bottom, reducer);
-        let top = self.up_values(comm, uvals, seq)?;
-
-        // Sorted layout -> user order.
-        Ok(self.in_user_map.iter().map(|&p| top[p as usize]).collect())
+        // Take the scratch slot out of `self` so the routing tables stay
+        // freely borrowable; put it back whatever the outcome.
+        let mut scratch: Box<ReduceScratch<V>> = self.scratch.take();
+        let result = self.reduce_op(comm, out_values, reducer, seq, &mut scratch, out);
+        self.scratch.put(scratch);
+        result
     }
 
-    /// Project fully reduced bottom values onto the bottom in-union:
-    /// requested indices nobody contributed to read as the identity.
+    fn reduce_op<C, V, R>(
+        &self,
+        comm: &mut C,
+        out_values: &[V],
+        reducer: R,
+        seq: u32,
+        s: &mut ReduceScratch<V>,
+        out: &mut Vec<V>,
+    ) -> Result<()>
+    where
+        C: Comm,
+        V: Scalar,
+        R: Reducer<V>,
+    {
+        // User order -> sorted layout, combining duplicate indices.
+        s.a.clear();
+        s.a.resize(self.out0.len(), reducer.identity());
+        for (x, &sp) in out_values.iter().zip(&self.out_user_map) {
+            reducer.combine(&mut s.a[sp as usize], *x);
+        }
+
+        self.down_values(comm, reducer, seq, s)?;
+
+        // Project fully reduced bottom values onto the bottom in-union:
+        // requested indices nobody contributed to read as the identity.
+        s.b.clear();
+        s.b.reserve(self.bottom_in_to_out.len());
+        for &p in &self.bottom_in_to_out {
+            s.b.push(if p == crate::config::MISSING {
+                reducer.identity()
+            } else {
+                s.a[p as usize]
+            });
+        }
+        std::mem::swap(&mut s.a, &mut s.b);
+
+        self.up_values_pooled(comm, seq, s)?;
+
+        // Sorted layout -> user order.
+        out.clear();
+        out.reserve(self.in_user_map.len());
+        for &p in &self.in_user_map {
+            out.push(s.a[p as usize]);
+        }
+        Ok(())
+    }
+
+    /// Project fully reduced bottom values onto the bottom in-union
+    /// (allocating variant used by the combined config+reduce pass).
     pub(crate) fn project_bottom<V, R>(&self, bottom: &[V], reducer: R) -> Vec<V>
     where
         V: Scalar,
@@ -83,20 +188,30 @@ impl Configured {
             .collect()
     }
 
-    /// Down pass: scatter-reduce `vals` (aligned with `out0`) to the
-    /// bottom layer; returns values aligned with the bottom out-union.
-    pub(crate) fn down_values<C, V, R>(
+    /// Down pass: scatter-reduce `s.a` (aligned with `out0`) to the
+    /// bottom layer; leaves values aligned with the bottom out-union in
+    /// `s.a`.
+    fn down_values<C, V, R>(
         &self,
         comm: &mut C,
-        mut vals: Vec<V>,
         reducer: R,
         seq: u32,
-    ) -> Result<Vec<V>>
+        s: &mut ReduceScratch<V>,
+    ) -> Result<()>
     where
         C: Comm,
         V: Scalar,
         R: Reducer<V>,
     {
+        let deterministic = self.deterministic.unwrap_or(V::ORDER_SENSITIVE);
+        let ReduceScratch {
+            arena,
+            a,
+            b,
+            parked,
+            pending,
+            ..
+        } = &mut *s;
         for (layer, lr) in self.layers.iter().enumerate() {
             let tag = Tag::new(Phase::ReduceDown, layer as u16, seq);
             for (c, &peer) in lr.group.iter().enumerate() {
@@ -107,46 +222,122 @@ impl Configured {
                     );
                     continue;
                 }
-                comm.send(peer, tag, encode_values(&vals[lr.out_spans[c].clone()]));
+                let msg = encode_values_into(arena, &a[lr.out_spans[c].clone()]);
+                comm.send(peer, tag, msg);
             }
-            let mut acc = vec![reducer.identity(); lr.out_union.len()];
+            b.clear();
+            b.resize(lr.out_union.len(), reducer.identity());
+            // Own slice first — the head of the deterministic combine
+            // order (and free: it never crosses the network).
             scatter_combine(
-                &mut acc,
-                &vals[lr.out_spans[lr.my_pos].clone()],
+                b,
+                &a[lr.out_spans[lr.my_pos].clone()],
                 &lr.out_maps[lr.my_pos],
                 reducer,
             );
-            for (c, &peer) in lr.group.iter().enumerate() {
-                if c == lr.my_pos {
-                    continue;
+            match self.recv_order {
+                RecvOrder::Fixed => {
+                    for (c, &peer) in lr.group.iter().enumerate() {
+                        if c == lr.my_pos {
+                            continue;
+                        }
+                        let payload = comm.recv(peer, tag).map_err(comm_err("reduce down"))?;
+                        combine_slice(b, &payload, &lr.out_maps[c], reducer, peer, tag)?;
+                    }
                 }
-                let payload = comm.recv(peer, tag).map_err(comm_err("reduce down"))?;
-                let part: Vec<V> =
-                    decode_values(&payload).map_err(surface_corrupt("reduce down", peer, tag))?;
-                if part.len() != lr.out_maps[c].len() {
-                    return Err(KylixError::Codec {
-                        what: "down-pass values misaligned with configuration",
-                    });
+                RecvOrder::Arrival => {
+                    pending.clear();
+                    pending.extend(
+                        lr.group
+                            .iter()
+                            .enumerate()
+                            .filter(|&(c, _)| c != lr.my_pos)
+                            .map(|(_, &peer)| peer),
+                    );
+                    if deterministic {
+                        // Opportunistic receive, fixed combine: park each
+                        // arrival at its coordinate and fold the prefix
+                        // that is ready. Results stay bit-identical to
+                        // the fixed-order schedule while the waiting
+                        // still overlaps with whoever arrives first.
+                        parked.clear();
+                        parked.resize(lr.group.len(), None);
+                        let mut next = 0usize;
+                        while !pending.is_empty() {
+                            let (src, payload) = comm
+                                .recv_any(pending, tag)
+                                .map_err(comm_err("reduce down"))?;
+                            retire_pending(pending, src);
+                            parked[coord_of(&lr.group, src)] = Some(payload);
+                            while next < parked.len() {
+                                if next == lr.my_pos {
+                                    next += 1;
+                                    continue;
+                                }
+                                let Some(payload) = parked[next].take() else {
+                                    break;
+                                };
+                                combine_slice(
+                                    b,
+                                    &payload,
+                                    &lr.out_maps[next],
+                                    reducer,
+                                    lr.group[next],
+                                    tag,
+                                )?;
+                                next += 1;
+                            }
+                        }
+                    } else {
+                        // Exact reducers: combine in arrival order.
+                        while !pending.is_empty() {
+                            let (src, payload) = comm
+                                .recv_any(pending, tag)
+                                .map_err(comm_err("reduce down"))?;
+                            retire_pending(pending, src);
+                            let c = coord_of(&lr.group, src);
+                            combine_slice(b, &payload, &lr.out_maps[c], reducer, src, tag)?;
+                        }
+                    }
                 }
-                scatter_combine(&mut acc, &part, &lr.out_maps[c], reducer);
             }
-            vals = acc;
+            std::mem::swap(a, b);
         }
-        Ok(vals)
+        Ok(())
     }
 
     /// Up pass: carry `uvals` (aligned with the bottom in-union) back to
-    /// the top; returns values aligned with `in0`.
-    pub(crate) fn up_values<C, V>(
-        &self,
-        comm: &mut C,
-        mut uvals: Vec<V>,
-        seq: u32,
-    ) -> Result<Vec<V>>
+    /// the top; returns values aligned with `in0`. One-shot entry point
+    /// for the combined config+reduce pass.
+    pub(crate) fn up_values<C, V>(&self, comm: &mut C, uvals: Vec<V>, seq: u32) -> Result<Vec<V>>
     where
         C: Comm,
         V: Scalar,
     {
+        let mut s = ReduceScratch::<V> {
+            a: uvals,
+            ..Default::default()
+        };
+        self.up_values_pooled(comm, seq, &mut s)?;
+        Ok(s.a)
+    }
+
+    /// Up pass over pooled scratch: `s.a` in (bottom in-union), `s.a`
+    /// out (aligned with `in0`). Returned slices land in disjoint spans,
+    /// so arrival order never changes the result — no parking needed.
+    fn up_values_pooled<C, V>(&self, comm: &mut C, seq: u32, s: &mut ReduceScratch<V>) -> Result<()>
+    where
+        C: Comm,
+        V: Scalar,
+    {
+        let ReduceScratch {
+            arena,
+            a,
+            b,
+            gathered,
+            pending,
+            ..
+        } = &mut *s;
         for (layer, lr) in self.layers.iter().enumerate().rev() {
             let tag = Tag::new(Phase::ReduceUp, layer as u16, seq);
             for (c, &peer) in lr.group.iter().enumerate() {
@@ -157,30 +348,108 @@ impl Configured {
                     );
                     continue;
                 }
-                comm.send(peer, tag, encode_values(&gather(&uvals, &lr.in_maps[c])));
+                gather_into(a, &lr.in_maps[c], gathered);
+                comm.send(peer, tag, encode_values_into(arena, gathered));
             }
             // Every position is overwritten by a returned slice; the
             // default is just an initialiser.
-            let mut prev = vec![V::default(); lr.in_prev_len()];
+            b.clear();
+            b.resize(lr.in_prev_len(), V::default());
             // Own requested part comes straight from local memory.
-            let own = gather(&uvals, &lr.in_maps[lr.my_pos]);
-            prev[lr.in_spans[lr.my_pos].clone()].copy_from_slice(&own);
-            for (c, &peer) in lr.group.iter().enumerate() {
-                if c == lr.my_pos {
-                    continue;
+            gather_into(a, &lr.in_maps[lr.my_pos], gathered);
+            b[lr.in_spans[lr.my_pos].clone()].copy_from_slice(gathered);
+            match self.recv_order {
+                RecvOrder::Fixed => {
+                    for (c, &peer) in lr.group.iter().enumerate() {
+                        if c == lr.my_pos {
+                            continue;
+                        }
+                        let payload = comm.recv(peer, tag).map_err(comm_err("reduce up"))?;
+                        fill_span(&mut b[lr.in_spans[c].clone()], &payload, peer, tag)?;
+                    }
                 }
-                let payload = comm.recv(peer, tag).map_err(comm_err("reduce up"))?;
-                let part: Vec<V> =
-                    decode_values(&payload).map_err(surface_corrupt("reduce up", peer, tag))?;
-                if part.len() != lr.in_spans[c].len() {
-                    return Err(KylixError::Codec {
-                        what: "up-pass values misaligned with configuration",
-                    });
+                RecvOrder::Arrival => {
+                    pending.clear();
+                    pending.extend(
+                        lr.group
+                            .iter()
+                            .enumerate()
+                            .filter(|&(c, _)| c != lr.my_pos)
+                            .map(|(_, &peer)| peer),
+                    );
+                    while !pending.is_empty() {
+                        let (src, payload) =
+                            comm.recv_any(pending, tag).map_err(comm_err("reduce up"))?;
+                        retire_pending(pending, src);
+                        let c = coord_of(&lr.group, src);
+                        fill_span(&mut b[lr.in_spans[c].clone()], &payload, src, tag)?;
+                    }
                 }
-                prev[lr.in_spans[c].clone()].copy_from_slice(&part);
             }
-            uvals = prev;
+            std::mem::swap(a, b);
         }
-        Ok(uvals)
+        Ok(())
     }
+}
+
+/// Coordinate of `src` in a layer group (groups are small: linear scan).
+#[inline]
+fn coord_of(group: &[usize], src: usize) -> usize {
+    group
+        .iter()
+        .position(|&r| r == src)
+        .expect("recv_any winner is in the group")
+}
+
+/// Drop `src` from the outstanding-peer list (order is irrelevant).
+#[inline]
+fn retire_pending(pending: &mut Vec<usize>, src: usize) {
+    let i = pending
+        .iter()
+        .position(|&r| r == src)
+        .expect("recv_any winner was pending");
+    pending.swap_remove(i);
+}
+
+/// Verify one down-pass slice and scatter-combine it straight from the
+/// wire body into the accumulator (no intermediate `Vec<V>`).
+fn combine_slice<V, R>(
+    acc: &mut [V],
+    payload: &[u8],
+    map: &[u32],
+    reducer: R,
+    peer: usize,
+    tag: Tag,
+) -> Result<()>
+where
+    V: Scalar,
+    R: Reducer<V>,
+{
+    let mut dec = Decoder::new(payload).map_err(surface_corrupt("reduce down", peer, tag))?;
+    let (n, raw) = dec
+        .raw_values::<V>()
+        .map_err(surface_corrupt("reduce down", peer, tag))?;
+    if n != map.len() || !dec.finished() {
+        return Err(KylixError::Codec {
+            what: "down-pass values misaligned with configuration",
+        });
+    }
+    scatter_combine_le(acc, raw, map, reducer);
+    Ok(())
+}
+
+/// Verify one up-pass slice and decode it straight into its partition
+/// span.
+fn fill_span<V: Scalar>(dst: &mut [V], payload: &[u8], peer: usize, tag: Tag) -> Result<()> {
+    let mut dec = Decoder::new(payload).map_err(surface_corrupt("reduce up", peer, tag))?;
+    let (n, raw) = dec
+        .raw_values::<V>()
+        .map_err(surface_corrupt("reduce up", peer, tag))?;
+    if n != dst.len() || !dec.finished() {
+        return Err(KylixError::Codec {
+            what: "up-pass values misaligned with configuration",
+        });
+    }
+    copy_from_le(dst, raw);
+    Ok(())
 }

@@ -25,6 +25,11 @@ use std::time::{Duration, Instant};
 /// would leak instead of the stash. Oldest entries are evicted first.
 const MAX_PENDING_DISCARDS: usize = 1024;
 
+/// Cap on retained empty stash queues. Enough to cover the distinct
+/// `(src, tag)` keys live within one reduction layer on any realistic
+/// group degree; beyond that the queues are simply dropped.
+const MAX_SPARE_QUEUES: usize = 32;
+
 /// One in-flight message.
 #[derive(Debug)]
 struct Envelope {
@@ -45,6 +50,9 @@ pub struct ThreadComm {
     pending_discards: HashMap<(usize, Tag), u32>,
     /// Insertion order of `pending_discards` keys, for eviction.
     discard_order: VecDeque<(usize, Tag)>,
+    /// Emptied stash queues kept for reuse, so the steady-state receive
+    /// path stops allocating queue storage per `(src, tag)` key.
+    spare_queues: Vec<VecDeque<Bytes>>,
     epoch: Instant,
 }
 
@@ -73,6 +81,7 @@ impl ThreadComm {
                 stash: HashMap::new(),
                 pending_discards: HashMap::new(),
                 discard_order: VecDeque::new(),
+                spare_queues: Vec::new(),
                 epoch,
             })
             .collect()
@@ -87,7 +96,7 @@ impl ThreadComm {
         }
         self.stash
             .entry((env.src, env.tag))
-            .or_default()
+            .or_insert_with(|| self.spare_queues.pop().unwrap_or_default())
             .push_back(env.payload);
     }
 
@@ -115,7 +124,10 @@ impl ThreadComm {
         let q = self.stash.get_mut(&(from, tag))?;
         let payload = q.pop_front();
         if q.is_empty() {
-            self.stash.remove(&(from, tag));
+            let q = self.stash.remove(&(from, tag)).expect("entry exists");
+            if self.spare_queues.len() < MAX_SPARE_QUEUES {
+                self.spare_queues.push(q);
+            }
         }
         payload
     }
@@ -165,7 +177,19 @@ impl Comm for ThreadComm {
             }
             let remaining = deadline.saturating_duration_since(Instant::now());
             match self.rx.recv_timeout(remaining) {
-                Ok(env) => self.accept(env),
+                // Direct delivery: the stash for this key was just
+                // checked empty and the channel is FIFO, so a matching
+                // arrival can be handed straight back without a stash
+                // round-trip (and without its allocation).
+                Ok(env) => {
+                    if env.src == from && env.tag == tag {
+                        if !self.consume_pending_discard(env.src, env.tag) {
+                            return Ok(env.payload);
+                        }
+                    } else {
+                        self.accept(env);
+                    }
+                }
                 Err(RecvTimeoutError::Timeout) => {
                     return Err(CommError::Timeout { from, tag });
                 }
@@ -190,7 +214,18 @@ impl Comm for ThreadComm {
             }
             let remaining = deadline.saturating_duration_since(Instant::now());
             match self.rx.recv_timeout(remaining) {
-                Ok(env) => self.accept(env),
+                // Direct delivery, as in `recv_timeout`: every candidate
+                // key was just checked empty in the stash, so a matching
+                // arrival is by construction the first of its key.
+                Ok(env) => {
+                    if env.tag == tag && sources.contains(&env.src) {
+                        if !self.consume_pending_discard(env.src, env.tag) {
+                            return Ok((env.src, env.payload));
+                        }
+                    } else {
+                        self.accept(env);
+                    }
+                }
                 Err(RecvTimeoutError::Timeout) => {
                     return Err(CommError::TimeoutAny {
                         sources: sources.to_vec(),
@@ -437,6 +472,33 @@ mod tests {
             c1.discard(&[0], tag(0, seq));
         }
         assert!(c1.pending_discards.len() <= MAX_PENDING_DISCARDS);
+    }
+
+    #[test]
+    fn spare_queues_recycle_and_stay_bounded() {
+        let mut comms = ThreadComm::make_cluster(2);
+        let mut c1 = comms.pop().unwrap();
+        let mut c0 = comms.pop().unwrap();
+        // Stash messages under many distinct keys, then drain them: the
+        // emptied queues go to the freelist (capped), and later arrivals
+        // reuse them instead of allocating.
+        let keys = MAX_SPARE_QUEUES as u32 * 2;
+        for seq in 0..keys {
+            c0.send(1, tag(0, seq), Bytes::from_static(b"x"));
+        }
+        // Receive out of order so every message goes through the stash.
+        for seq in (0..keys).rev() {
+            assert_eq!(&c1.recv(0, tag(0, seq)).unwrap()[..], b"x");
+        }
+        assert_eq!(c1.stash_len(), 0);
+        assert!(c1.spare_queues.len() <= MAX_SPARE_QUEUES);
+        assert!(!c1.spare_queues.is_empty(), "queues must be retained");
+        // A fresh arrival through the stash pulls from the freelist.
+        let before = c1.spare_queues.len();
+        c0.send(1, tag(1, 0), Bytes::from_static(b"y"));
+        c0.send(1, tag(1, 1), Bytes::from_static(b"z"));
+        assert_eq!(&c1.recv(0, tag(1, 1)).unwrap()[..], b"z");
+        assert_eq!(c1.spare_queues.len(), before - 1, "one queue in use");
     }
 
     #[test]

@@ -16,19 +16,34 @@ use std::fmt::Debug;
 pub trait Scalar: Copy + Send + Sync + Debug + PartialEq + Default + 'static {
     /// Encoded width in bytes.
     const WIDTH: usize;
+    /// Whether combining values of this type is sensitive to evaluation
+    /// order (floating point: addition is not associative in `f32`/`f64`).
+    /// Drives the default of the reduction's `deterministic` mode —
+    /// order-sensitive scalars buffer out-of-order arrivals and combine
+    /// in a fixed order so results stay bit-identical; exact integer
+    /// types combine in arrival order immediately.
+    const ORDER_SENSITIVE: bool;
     /// Append the little-endian encoding of `self` to `out`.
     fn write_le(&self, out: &mut Vec<u8>);
+    /// Write the little-endian encoding into exactly `WIDTH` bytes
+    /// (pooled send buffers that are not `Vec<u8>`-backed).
+    fn write_le_slice(&self, out: &mut [u8]);
     /// Decode from exactly `WIDTH` bytes.
     fn read_le(bytes: &[u8]) -> Self;
 }
 
 macro_rules! impl_scalar {
-    ($($t:ty),*) => {$(
+    ($($t:ty => $sensitive:expr),*) => {$(
         impl Scalar for $t {
             const WIDTH: usize = std::mem::size_of::<$t>();
+            const ORDER_SENSITIVE: bool = $sensitive;
             #[inline]
             fn write_le(&self, out: &mut Vec<u8>) {
                 out.extend_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn write_le_slice(&self, out: &mut [u8]) {
+                out.copy_from_slice(&self.to_le_bytes());
             }
             #[inline]
             fn read_le(bytes: &[u8]) -> Self {
@@ -38,7 +53,7 @@ macro_rules! impl_scalar {
     )*};
 }
 
-impl_scalar!(f32, f64, u32, u64, i32, i64);
+impl_scalar!(f32 => true, f64 => true, u32 => false, u64 => false, i32 => false, i64 => false);
 
 /// An associative, commutative reduction operator over `V` with an
 /// identity element.
@@ -138,6 +153,37 @@ mod tests {
         round_trip(u64::MAX);
         round_trip(-42i32);
         round_trip(i64::MIN);
+    }
+
+    fn slice_matches_vec<V: Scalar>(v: V) {
+        let mut via_vec = Vec::new();
+        v.write_le(&mut via_vec);
+        let mut via_slice = vec![0u8; V::WIDTH];
+        v.write_le_slice(&mut via_slice);
+        assert_eq!(via_vec, via_slice);
+    }
+
+    #[test]
+    fn write_le_slice_matches_write_le() {
+        slice_matches_vec(3.75f32);
+        slice_matches_vec(-1.25e300f64);
+        slice_matches_vec(0xDEAD_BEEFu32);
+        slice_matches_vec(u64::MAX);
+        slice_matches_vec(-42i32);
+        slice_matches_vec(i64::MIN);
+    }
+
+    #[test]
+    fn only_floats_are_order_sensitive() {
+        fn sensitive<V: Scalar>() -> bool {
+            V::ORDER_SENSITIVE
+        }
+        assert!(sensitive::<f32>());
+        assert!(sensitive::<f64>());
+        assert!(!sensitive::<u32>());
+        assert!(!sensitive::<u64>());
+        assert!(!sensitive::<i32>());
+        assert!(!sensitive::<i64>());
     }
 
     #[test]

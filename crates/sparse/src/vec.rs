@@ -12,7 +12,7 @@
 
 use crate::index_set::IndexSet;
 use crate::key::Key;
-use crate::reducer::Reducer;
+use crate::reducer::{Reducer, Scalar};
 
 /// A sparse vector: sorted keys plus one value per key.
 #[derive(Debug, Clone, PartialEq)]
@@ -108,8 +108,41 @@ pub fn scatter_combine<V: Copy, R: Reducer<V>>(dst: &mut [V], src: &[V], map: &[
     }
 }
 
+/// Scatter-combine straight from a little-endian wire body:
+/// `dst[map[p]] ⊕= decode(raw[p])` — the down-pass hot loop fused with
+/// decoding, so a received slice needs no intermediate `Vec<V>`.
+/// `raw` must hold exactly `map.len()` packed `WIDTH`-byte scalars
+/// (checked by the caller against the wire count).
+#[inline]
+pub fn scatter_combine_le<V: Scalar, R: Reducer<V>>(
+    dst: &mut [V],
+    raw: &[u8],
+    map: &[u32],
+    reducer: R,
+) {
+    debug_assert_eq!(raw.len(), map.len() * V::WIDTH);
+    for (chunk, &p) in raw.chunks_exact(V::WIDTH).zip(map) {
+        reducer.combine(&mut dst[p as usize], V::read_le(chunk));
+    }
+}
+
+/// Decode a little-endian wire body straight into a value slice
+/// (up-pass span rebuild without an intermediate `Vec<V>`). `raw` must
+/// hold exactly `dst.len()` packed scalars.
+#[inline]
+pub fn copy_from_le<V: Scalar>(dst: &mut [V], raw: &[u8]) {
+    debug_assert_eq!(raw.len(), dst.len() * V::WIDTH);
+    for (d, chunk) in dst.iter_mut().zip(raw.chunks_exact(V::WIDTH)) {
+        *d = V::read_le(chunk);
+    }
+}
+
 /// Gather through a position map: `out[p] = src[map[p]]`
 /// (paper's map `g`, up pass).
+///
+/// Allocates per call; hot paths use [`gather_into`] instead. Kept for
+/// tests and one-shot callers.
+#[doc(hidden)]
 #[inline]
 pub fn gather<V: Copy>(src: &[V], map: &[u32]) -> Vec<V> {
     map.iter().map(|&p| src[p as usize]).collect()
@@ -178,6 +211,30 @@ mod tests {
         assert_eq!(back_a[idx3_pos], 3.0);
         let total: f64 = acc.iter().sum();
         assert_eq!(total, 7.0);
+    }
+
+    #[test]
+    fn scatter_combine_le_matches_decoded_path() {
+        let src = [1.5f64, -2.25, 4.0];
+        let raw: Vec<u8> = src.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let map = [2u32, 0, 2];
+        let mut fused = vec![10.0f64; 3];
+        scatter_combine_le(&mut fused, &raw, &map, SumReducer);
+        let mut reference = vec![10.0f64; 3];
+        scatter_combine(&mut reference, &src, &map, SumReducer);
+        // Bit-identical: same combine order, same decoded values.
+        for (a, b) in fused.iter().zip(&reference) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn copy_from_le_round_trips() {
+        let src = [7u64, u64::MAX, 0];
+        let raw: Vec<u8> = src.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let mut dst = [0u64; 3];
+        copy_from_le(&mut dst, &raw);
+        assert_eq!(dst, src);
     }
 
     #[test]

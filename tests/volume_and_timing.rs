@@ -49,13 +49,15 @@ fn traffic_stats_match_routing_state_volumes() {
         let measured = report.bytes_on(layer as u16);
         // Layer traffic includes config (8B/index + headers) and reduce
         // down (8B/value + headers) and reduce up (8B/value + headers):
-        // bound it between the pure down-pass payload and 4x it.
+        // bound it between the pure down-pass payload and 4x it. Each of
+        // the m*d parts carries fixed framing: config 24B (two key
+        // counts + seal), down 16B (count + seal), up 16B (count + seal).
         assert!(
             measured >= payload,
             "layer {layer}: measured {measured} < down payload {payload}"
         );
         assert!(
-            measured <= 4 * payload + (m * d * 3 * 8) as u64 * 2,
+            measured <= 4 * payload + (m * d * (24 + 16 + 16)) as u64,
             "layer {layer}: measured {measured} vs payload {payload}"
         );
     }
