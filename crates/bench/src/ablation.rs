@@ -22,6 +22,7 @@ use crate::workload::{VectorWorkload, ELEM_BYTES};
 use bytes::Bytes;
 use kylix::{Kylix, NetworkPlan, ReplicatedComm};
 use kylix_baselines::ring::ring_volume_elems;
+use kylix_net::telemetry::RankTelemetry;
 use kylix_net::{Comm, CommError, Tag};
 use kylix_netsim::SimCluster;
 use kylix_sparse::SumReducer;
@@ -156,6 +157,9 @@ impl<C: Comm> Comm for PinnedReplicaComm<C> {
     }
     fn note_traffic(&mut self, layer: u16, bytes: usize) {
         self.inner.note_traffic(layer, bytes);
+    }
+    fn telemetry(&self) -> Option<&RankTelemetry> {
+        self.inner.telemetry()
     }
 }
 

@@ -2,13 +2,14 @@
 //!
 //! ```text
 //! figures [fig2|fig4|fig5|fig6|fig7|table1|fig8|fig9|faults|straggler|all] \
-//!     [--scale N] [--seed N] [--quick] [--json PATH]
+//!     [--scale N] [--seed N] [--quick] [--json PATH] [--telemetry PATH]
 //! ```
 //!
 //! Each experiment prints an aligned text table; `--json` additionally
 //! dumps machine-readable rows (used to refresh EXPERIMENTS.md).
-//! `--quick` trims the fault and straggler sweeps to their CI-smoke
-//! subsets.
+//! `--telemetry` dumps the raw per-rank telemetry export behind the
+//! Fig. 5 volumes (the CI build artifact). `--quick` trims the fault
+//! and straggler sweeps to their CI-smoke subsets.
 
 use kylix_bench::{
     ablation, fault_sweep, fig2, fig4, fig5, fig6, fig7, fig8, fig9, print_table, straggler, table1,
@@ -22,6 +23,7 @@ struct Args {
     seed: u64,
     quick: bool,
     json: Option<String>,
+    telemetry: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -30,6 +32,7 @@ fn parse_args() -> Args {
     let mut seed = 7;
     let mut quick = false;
     let mut json = None;
+    let mut telemetry = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -37,10 +40,11 @@ fn parse_args() -> Args {
             "--seed" => seed = it.next().expect("--seed N").parse().expect("seed"),
             "--quick" => quick = true,
             "--json" => json = Some(it.next().expect("--json PATH")),
+            "--telemetry" => telemetry = Some(it.next().expect("--telemetry PATH")),
             "-h" | "--help" => {
                 eprintln!(
                     "usage: figures [fig2|fig4|fig5|fig6|fig7|table1|fig8|fig9|faults|straggler|all]… \
-                     [--scale N] [--seed N] [--quick] [--json PATH]"
+                     [--scale N] [--seed N] [--quick] [--json PATH] [--telemetry PATH]"
                 );
                 std::process::exit(0);
             }
@@ -71,7 +75,28 @@ fn parse_args() -> Args {
         seed,
         quick,
         json,
+        telemetry,
     }
+}
+
+/// Combine the per-profile telemetry exports (already JSON) into one
+/// artifact document. Assembled by hand so the payload stays exactly
+/// what `Telemetry::to_json` produced, wrapped with run metadata.
+fn telemetry_artifact(profiles: &[fig5::Fig5Profile], scale: u64, seed: u64) -> String {
+    let mut s = format!(
+        "{{\n  \"experiment\": \"fig5\",\n  \"scale\": {scale},\n  \"seed\": {seed},\n  \"profiles\": ["
+    );
+    for (i, p) in profiles.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"dataset\": \"{}\", \"telemetry\": {}}}",
+            p.dataset, p.telemetry_json
+        ));
+    }
+    s.push_str("\n  ]\n}\n");
+    s
 }
 
 fn mb(bytes: f64) -> String {
@@ -147,6 +172,11 @@ fn main() {
             }
             "fig5" => {
                 let profiles = fig5::run(args.scale, args.seed);
+                if let Some(path) = &args.telemetry {
+                    std::fs::write(path, telemetry_artifact(&profiles, args.scale, args.seed))
+                        .expect("write telemetry");
+                    eprintln!("wrote {path}");
+                }
                 for p in &profiles {
                     let degrees: Vec<String> = p.degrees.iter().map(|d| d.to_string()).collect();
                     let mut rows = Vec::new();

@@ -27,6 +27,7 @@ use crate::workload::VectorWorkload;
 use kylix::{
     reference_allreduce, Kylix, KylixError, NetworkPlan, NodeContribution, ReplicatedComm,
 };
+use kylix_net::telemetry::{Clock, Counter, Telemetry};
 use kylix_net::{Comm, CommError, FaultPlan, LocalCluster, ReliableComm};
 use kylix_netsim::SimCluster;
 use kylix_sparse::SumReducer;
@@ -158,7 +159,9 @@ const LOSS_NODES: usize = 8;
 /// One loss-sweep run at per-message loss rate `p` (plus proportional
 /// duplication, corruption, and delay). Unreplicated Kylix over
 /// `ReliableComm<ChaosComm<ThreadComm>>`; wall-clock. Returns per-rank
-/// `(correct, seconds, retransmits)`.
+/// `(correct, seconds, retransmits)` — retransmit counts read back
+/// from the cluster telemetry shards the reliability layer records
+/// into, not from ad-hoc per-connection accounting.
 pub fn loss_run(scale: u64, seed: u64, p: f64) -> Vec<(bool, f64, u64)> {
     let w = VectorWorkload::twitter_like(LOSS_NODES, scale, seed);
     let expected = reference_allreduce(&contributions(&w), SumReducer);
@@ -168,7 +171,8 @@ pub fn loss_run(scale: u64, seed: u64, p: f64) -> Vec<(bool, f64, u64)> {
         .duplicate_rate(p / 2.0)
         .corrupt_rate(p / 4.0)
         .delay_rate(p / 2.0);
-    LocalCluster::run_with_faults(LOSS_NODES, &faults, |chaos| {
+    let tel = Telemetry::new(LOSS_NODES, Clock::Wall);
+    let out = LocalCluster::run_with_faults_telemetry(LOSS_NODES, &faults, &tel, |chaos| {
         let mut comm = ReliableComm::new(chaos);
         let me = comm.rank();
         let ones = vec![1.0f64; w.node_indices[me].len()];
@@ -184,7 +188,9 @@ pub fn loss_run(scale: u64, seed: u64, p: f64) -> Vec<(bool, f64, u64)> {
                 0,
             )
             .map(|(vals, _)| vals);
-        let stats = comm.flush().unwrap_or_default();
+        // Still drain the reliability layer; its stats now also live in
+        // the telemetry shard read after the join.
+        comm.flush().ok();
         let secs = start.elapsed().as_secs_f64();
         let correct = match got {
             Ok(vals) => {
@@ -196,8 +202,12 @@ pub fn loss_run(scale: u64, seed: u64, p: f64) -> Vec<(bool, f64, u64)> {
             }
             Err(_) => false,
         };
-        (correct, secs, stats.retransmits)
-    })
+        (correct, secs)
+    });
+    out.into_iter()
+        .enumerate()
+        .map(|(rank, (correct, secs))| (correct, secs, tel.rank(rank).total(Counter::Retransmits)))
+        .collect()
 }
 
 /// Loss sweep rows for the given loss rates (first rate is the

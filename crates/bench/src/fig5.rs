@@ -7,13 +7,27 @@
 //! data collapses fast down the layers; sparse (Yahoo-like) data
 //! shrinks more slowly — the two silhouettes of the paper's Fig. 5.
 //!
-//! Measured volumes come from the configured routing state of a real
-//! run; predicted volumes from the Prop. 4.1 model. The test pins them
-//! to each other.
+//! Measured volumes come from the cross-substrate telemetry of a real
+//! configure + reduce run (per-layer sent bytes, wire framing
+//! stripped, packets to self included via the dedicated self kinds);
+//! predicted volumes from the Prop. 4.1 model. Tests pin the telemetry
+//! numbers to the model *and*, byte for byte, to the routing state's
+//! structural count on both the thread cluster and the simulator.
 
 use crate::workload::VectorWorkload;
+use kylix::codec::SEAL_LEN;
 use kylix::{Kylix, NetworkPlan};
-use kylix_net::LocalCluster;
+use kylix_net::telemetry::{Clock, Counter, Telemetry, TelemetryReport};
+use kylix_net::{LocalCluster, Phase};
+use kylix_sparse::SumReducer;
+
+/// Wire framing per values message: 8-byte count header + checksum
+/// seal. Subtracted per message so volumes count payload elements only,
+/// exactly as the structural accounting did.
+const MSG_OVERHEAD: u64 = 8 + SEAL_LEN as u64;
+
+/// Bytes per reduced element (`f64`).
+const ELEM_BYTES: u64 = 8;
 
 /// Volume profile for one dataset/network pair.
 #[derive(Debug, Clone)]
@@ -32,17 +46,38 @@ pub struct Fig5Profile {
     pub predicted_bytes: Vec<f64>,
     /// Model-predicted bottom volume.
     pub predicted_bottom: f64,
+    /// Full telemetry export (JSON) of the measuring run — the CI
+    /// artifact behind the measured numbers.
+    pub telemetry_json: String,
 }
 
-/// Measure one dataset's per-layer volumes on its paper topology.
+/// Distil per-layer down-pass element bytes from a telemetry snapshot:
+/// sent bytes plus self-addressed bytes at the down phase, minus the
+/// per-message wire framing. Works identically on either substrate.
+pub fn down_volume_from_telemetry(rep: &TelemetryReport, layers: usize) -> Vec<u64> {
+    let down = Phase::ReduceDown as u8;
+    (0..layers)
+        .map(|l| {
+            let l = l as u16;
+            let bytes = rep.on(down, l, Counter::BytesSent) + rep.on(down, l, Counter::SelfBytes);
+            let msgs = rep.on(down, l, Counter::MsgsSent) + rep.on(down, l, Counter::SelfMsgs);
+            bytes - MSG_OVERHEAD * msgs
+        })
+        .collect()
+}
+
+/// Measure one dataset's per-layer volumes on its paper topology by
+/// actually running a reduce over a telemetry-attached thread cluster
+/// and reading the sent-byte counters back.
 pub fn profile(workload: &VectorWorkload, degrees: &[usize]) -> Fig5Profile {
     let m = workload.node_indices.len();
     let plan = NetworkPlan::new(degrees);
     assert_eq!(plan.size(), m);
-    let per_node: Vec<(Vec<usize>, usize)> = LocalCluster::run(m, |mut comm| {
+    let tel = Telemetry::new(m, Clock::Wall);
+    let bottoms: Vec<usize> = LocalCluster::run_with_telemetry(m, &tel, |mut comm| {
         let me = kylix_net::Comm::rank(&comm);
         let kylix = Kylix::new(plan.clone());
-        let state = kylix
+        let mut state = kylix
             .configure(
                 &mut comm,
                 &workload.node_indices[me],
@@ -50,28 +85,24 @@ pub fn profile(workload: &VectorWorkload, degrees: &[usize]) -> Fig5Profile {
                 0,
             )
             .unwrap();
-        (state.down_volume_elems(), state.bottom_elems())
+        let ones = vec![1.0f64; workload.node_indices[me].len()];
+        state.reduce(&mut comm, &ones, SumReducer).unwrap();
+        state.bottom_elems()
     });
 
-    let elem_bytes = 8u64;
     let layers = plan.layers();
-    let mut measured = vec![0u64; layers];
-    let mut bottom = 0u64;
-    for (vols, be) in &per_node {
-        for (l, v) in vols.iter().enumerate() {
-            measured[l] += *v as u64 * elem_bytes;
-        }
-        bottom += *be as u64 * elem_bytes;
-    }
+    let rep = tel.report();
+    let measured = down_volume_from_telemetry(&rep, layers);
+    let bottom: u64 = bottoms.iter().map(|&b| b as u64 * ELEM_BYTES).sum();
 
     let preds = workload
         .model
         .layer_predictions(workload.lambda0, plan.degrees());
     let predicted: Vec<f64> = preds[..layers]
         .iter()
-        .map(|p| p.elems_per_node * m as f64 * elem_bytes as f64)
+        .map(|p| p.elems_per_node * m as f64 * ELEM_BYTES as f64)
         .collect();
-    let predicted_bottom = preds[layers].elems_per_node * m as f64 * elem_bytes as f64;
+    let predicted_bottom = preds[layers].elems_per_node * m as f64 * ELEM_BYTES as f64;
 
     Fig5Profile {
         dataset: workload.name.clone(),
@@ -80,6 +111,7 @@ pub fn profile(workload: &VectorWorkload, degrees: &[usize]) -> Fig5Profile {
         bottom_bytes: bottom,
         predicted_bytes: predicted,
         predicted_bottom,
+        telemetry_json: tel.to_json(),
     }
 }
 
@@ -93,6 +125,58 @@ pub fn run(scale: u64, seed: u64) -> Vec<Fig5Profile> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scaling::scaled_nic;
+    use kylix_netsim::SimCluster;
+
+    /// The telemetry-derived volumes must equal the routing state's
+    /// structural count byte for byte — and the simulator, running the
+    /// same workload, must report exactly the same numbers through the
+    /// same telemetry export. This is the Fig. 5 cross-substrate
+    /// acceptance check.
+    #[test]
+    fn telemetry_volumes_match_routing_state_exactly() {
+        let w = VectorWorkload::twitter_like(64, 4000, 5);
+        let degrees = [8usize, 4, 2];
+        let plan = NetworkPlan::new(&degrees);
+
+        // Structural ground truth straight from the configured routing
+        // tables (what this experiment measured before telemetry).
+        let per_node: Vec<Vec<usize>> = LocalCluster::run(64, |mut comm| {
+            let me = kylix_net::Comm::rank(&comm);
+            let kylix = Kylix::new(plan.clone());
+            let state = kylix
+                .configure(&mut comm, &w.node_indices[me], &w.node_indices[me], 0)
+                .unwrap();
+            state.down_volume_elems()
+        });
+        let mut structural = vec![0u64; plan.layers()];
+        for vols in &per_node {
+            for (l, v) in vols.iter().enumerate() {
+                structural[l] += *v as u64 * ELEM_BYTES;
+            }
+        }
+
+        let thread = profile(&w, &degrees);
+        assert_eq!(thread.measured_bytes, structural);
+        assert!(!thread.telemetry_json.is_empty());
+
+        // Same workload on the simulator: identical counters.
+        let cluster = SimCluster::new(64, scaled_nic(4000.0)).seed(5);
+        cluster.run_all(|mut comm| {
+            let me = kylix_net::Comm::rank(&comm);
+            let kylix = Kylix::new(plan.clone());
+            let mut state = kylix
+                .configure(&mut comm, &w.node_indices[me], &w.node_indices[me], 0)
+                .unwrap();
+            let ones = vec![1.0f64; w.node_indices[me].len()];
+            state.reduce(&mut comm, &ones, SumReducer).unwrap();
+        });
+        let sim = down_volume_from_telemetry(&cluster.telemetry().report(), plan.layers());
+        assert_eq!(
+            sim, structural,
+            "simulator telemetry must agree byte-for-byte"
+        );
+    }
 
     #[test]
     fn kylix_shape_volume_decreases_down_layers() {

@@ -61,9 +61,12 @@ const OPS: usize = 4;
 /// seconds) for one receive order.
 ///
 /// Virtual-time simulation: one receive worker per node, rank 0 slowed
-/// by `skew`. Configuration runs first and is excluded from the
-/// measurement (its code path is identical in both arms), as is the
-/// straggler's own clock (see the module docs).
+/// by `skew`. The measurement comes from the cluster telemetry's
+/// per-operation timing: every reduce records its virtual duration
+/// into its rank's shard, so the reduce phase is isolated from
+/// configuration (identical in both arms) without bracketing clocks in
+/// the closure, and the straggler's own shard is simply skipped (see
+/// the module docs).
 pub fn reduce_makespan(scale: u64, seed: u64, skew: f64, order: RecvOrder) -> f64 {
     let w = VectorWorkload::twitter_like(NODES, scale, seed);
     // A wide first layer maximises the receive backlog a fixed-order
@@ -74,13 +77,12 @@ pub fn reduce_makespan(scale: u64, seed: u64, skew: f64, order: RecvOrder) -> f6
     let cluster = SimCluster::new(NODES, nic)
         .seed(seed)
         .stragglers(&[(STRAGGLER, skew)]);
-    let per_node: Vec<(f64, f64)> = cluster.run_all(|mut comm| {
+    cluster.run_all(|mut comm| {
         let me = comm.rank();
         let idx = &w.node_indices[me];
         let kylix = Kylix::new(plan.clone());
         let mut state = kylix.configure(&mut comm, idx, idx, 0).unwrap();
         state.recv_order = order;
-        let t_cfg = comm.now();
         let vals = vec![1.0f64; idx.len()];
         let mut out = Vec::new();
         for _ in 0..OPS {
@@ -88,19 +90,13 @@ pub fn reduce_makespan(scale: u64, seed: u64, skew: f64, order: RecvOrder) -> f6
                 .reduce_into(&mut comm, &vals, SumReducer, &mut out)
                 .unwrap();
         }
-        (t_cfg, comm.now())
     });
-    let fast = |pairs: &[(f64, f64)], pick: fn(&(f64, f64)) -> f64| {
-        pairs
-            .iter()
-            .enumerate()
-            .filter(|(rank, _)| *rank != STRAGGLER)
-            .map(|(_, p)| pick(p))
-            .fold(0.0, f64::max)
-    };
-    let cfg_end = fast(&per_node, |p| p.0);
-    let end = fast(&per_node, |p| p.1);
-    (end - cfg_end) * scale as f64 / OPS as f64
+    let tel = cluster.telemetry();
+    let reduce_secs = (0..NODES)
+        .filter(|&rank| rank != STRAGGLER)
+        .map(|rank| tel.rank(rank).op_nanos() as f64 / 1e9)
+        .fold(0.0, f64::max);
+    reduce_secs * scale as f64 / OPS as f64
 }
 
 /// The sweep over straggler factors. `quick` trims it to a CI-smoke

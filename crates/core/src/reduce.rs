@@ -45,6 +45,7 @@ use crate::codec::{encode_values_into, Decoder, SEAL_LEN};
 use crate::config::{values_wire_len, Configured, RecvOrder};
 use crate::error::{comm_err, surface_corrupt, KylixError, Result};
 use bytes::{Bytes, BytesMut};
+use kylix_net::telemetry::Counter;
 use kylix_net::{Comm, Phase, Tag};
 use kylix_sparse::vec::{copy_from_le, gather_into, scatter_combine, scatter_combine_le};
 use kylix_sparse::{Reducer, Scalar};
@@ -117,8 +118,21 @@ impl Configured {
         // Take the scratch slot out of `self` so the routing tables stay
         // freely borrowable; put it back whatever the outcome.
         let mut scratch: Box<ReduceScratch<V>> = self.scratch.take();
+        let t0 = comm.now();
         let result = self.reduce_op(comm, out_values, reducer, seq, &mut scratch, out);
         self.scratch.put(scratch);
+        if result.is_ok() {
+            // Histogram the whole collective through the substrate's own
+            // clock: virtual seconds on the simulator, wall seconds on
+            // real clusters. Two atomic adds — nothing here allocates.
+            let nanos = ((comm.now() - t0) * 1e9).round() as u64;
+            if let Some(tel) = comm.telemetry() {
+                tel.record_op(nanos);
+                if tel.tracing() {
+                    tel.trace_event(comm.now(), Phase::App as u8, 0, "reduce_op", nanos);
+                }
+            }
+        }
         result
     }
 
@@ -216,10 +230,16 @@ impl Configured {
             let tag = Tag::new(Phase::ReduceDown, layer as u16, seq);
             for (c, &peer) in lr.group.iter().enumerate() {
                 if c == lr.my_pos {
-                    comm.note_traffic(
-                        layer as u16,
-                        values_wire_len::<V>(lr.out_spans[c].len()) + SEAL_LEN,
-                    );
+                    let bytes = values_wire_len::<V>(lr.out_spans[c].len()) + SEAL_LEN;
+                    comm.note_traffic(layer as u16, bytes);
+                    // `note_traffic` files under the pseudo-phase so the
+                    // traffic report stays whole; the dedicated self
+                    // kinds carry the true phase for per-pass figures.
+                    if let Some(tel) = comm.telemetry() {
+                        let (p, l) = (Phase::ReduceDown as u8, layer as u16);
+                        tel.add(p, l, Counter::SelfBytes, bytes as u64);
+                        tel.add(p, l, Counter::SelfMsgs, 1);
+                    }
                     continue;
                 }
                 let msg = encode_values_into(arena, &a[lr.out_spans[c].clone()]);
@@ -342,10 +362,13 @@ impl Configured {
             let tag = Tag::new(Phase::ReduceUp, layer as u16, seq);
             for (c, &peer) in lr.group.iter().enumerate() {
                 if c == lr.my_pos {
-                    comm.note_traffic(
-                        layer as u16,
-                        values_wire_len::<V>(lr.in_maps[c].len()) + SEAL_LEN,
-                    );
+                    let bytes = values_wire_len::<V>(lr.in_maps[c].len()) + SEAL_LEN;
+                    comm.note_traffic(layer as u16, bytes);
+                    if let Some(tel) = comm.telemetry() {
+                        let (p, l) = (Phase::ReduceUp as u8, layer as u16);
+                        tel.add(p, l, Counter::SelfBytes, bytes as u64);
+                        tel.add(p, l, Counter::SelfMsgs, 1);
+                    }
                     continue;
                 }
                 gather_into(a, &lr.in_maps[c], gathered);

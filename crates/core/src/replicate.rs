@@ -19,6 +19,7 @@
 //! describes); on the thread cluster the first real arrival wins.
 
 use bytes::Bytes;
+use kylix_net::telemetry::RankTelemetry;
 use kylix_net::{Comm, CommError, Tag};
 use std::time::Duration;
 
@@ -163,6 +164,10 @@ impl<C: Comm> Comm for ReplicatedComm<C> {
 
     fn note_traffic(&mut self, layer: u16, bytes: usize) {
         self.inner.note_traffic(layer, bytes);
+    }
+
+    fn telemetry(&self) -> Option<&RankTelemetry> {
+        self.inner.telemetry()
     }
 }
 

@@ -43,6 +43,7 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 use kylix::codec::{decode_values, encode_values};
 use kylix::config::MISSING;
 use kylix::{Configured, Kylix, NetworkPlan};
+use kylix_net::telemetry::{Clock, Telemetry};
 use kylix_net::{Comm, LocalCluster, Phase, Tag};
 use kylix_sparse::vec::{gather, scatter_combine};
 use kylix_sparse::SumReducer;
@@ -122,11 +123,14 @@ fn old_reduce<C: Comm>(state: &mut Configured, comm: &mut C, out_values: &[f64])
 }
 
 /// Run `ops` steady-state reduce ops on a fresh cluster and return the
-/// global allocation count consumed, plus rank 0's last result.
-fn measure(ops: usize, pooled: bool) -> (u64, Vec<f64>) {
+/// global allocation count consumed, plus rank 0's last result. With
+/// `telemetry`, the cluster records full per-rank counters and per-op
+/// timings — the claim under test is that this instrumentation is
+/// allocation-free in steady state.
+fn measure(ops: usize, pooled: bool, telemetry: Option<&Telemetry>) -> (u64, Vec<f64>) {
     let plan = NetworkPlan::new(&DEGREES);
     let before = ALLOCS.load(Ordering::Relaxed);
-    let results = LocalCluster::run(M, |mut comm| {
+    let body = |mut comm: kylix_net::ThreadComm| {
         let me = comm.rank();
         let idx = indices(me);
         let vals: Vec<f64> = idx.iter().map(|&i| 1.0 + i as f64 * 0.5).collect();
@@ -143,7 +147,11 @@ fn measure(ops: usize, pooled: bool) -> (u64, Vec<f64>) {
             }
         }
         out
-    });
+    };
+    let results = match telemetry {
+        Some(tel) => LocalCluster::run_with_telemetry(M, tel, body),
+        None => LocalCluster::run(M, body),
+    };
     let spent = ALLOCS.load(Ordering::Relaxed) - before;
     (spent, results.into_iter().next().unwrap())
 }
@@ -153,16 +161,24 @@ fn measure(ops: usize, pooled: bool) -> (u64, Vec<f64>) {
 fn steady_state_reduce_allocates_90_percent_less() {
     const LO: usize = 8;
     const HI: usize = 56;
-    // Marginal allocations per extra op, whole cluster. Order the four
-    // runs so each path's pair is adjacent (allocator state settles).
-    let (old_lo, r_old_lo) = measure(LO, false);
-    let (old_hi, r_old_hi) = measure(HI, false);
-    let (new_lo, r_new_lo) = measure(LO, true);
-    let (new_hi, r_new_hi) = measure(HI, true);
+    // Marginal allocations per extra op, whole cluster. Order the runs
+    // so each path's pair is adjacent (allocator state settles).
+    let (old_lo, r_old_lo) = measure(LO, false, None);
+    let (old_hi, r_old_hi) = measure(HI, false, None);
+    let (new_lo, r_new_lo) = measure(LO, true, None);
+    let (new_hi, r_new_hi) = measure(HI, true, None);
+    let tel = Telemetry::new(M, Clock::Wall);
+    let (tel_lo, r_tel_lo) = measure(LO, true, Some(&tel));
+    let (tel_hi, r_tel_hi) = measure(HI, true, Some(&tel));
     // Sanity: both paths compute the same thing, bit for bit (the
     // pooled path defaults to deterministic arrival-order combining,
     // which replays the legacy fixed order).
-    for (a, b) in [(&r_old_lo, &r_new_lo), (&r_old_hi, &r_new_hi)] {
+    for (a, b) in [
+        (&r_old_lo, &r_new_lo),
+        (&r_old_hi, &r_new_hi),
+        (&r_new_lo, &r_tel_lo),
+        (&r_new_hi, &r_tel_hi),
+    ] {
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(b) {
             assert_eq!(x.to_bits(), y.to_bits(), "paths must agree: {x} vs {y}");
@@ -170,9 +186,11 @@ fn steady_state_reduce_allocates_90_percent_less() {
     }
     let per_op_old = (old_hi.saturating_sub(old_lo)) as f64 / (HI - LO) as f64;
     let per_op_new = (new_hi.saturating_sub(new_lo)) as f64 / (HI - LO) as f64;
+    let per_op_tel = (tel_hi.saturating_sub(tel_lo)) as f64 / (HI - LO) as f64;
     eprintln!(
         "marginal allocs/op (whole {M}-rank cluster): \
-         legacy {per_op_old:.1}, pooled {per_op_new:.1}"
+         legacy {per_op_old:.1}, pooled {per_op_new:.1}, \
+         pooled+telemetry {per_op_tel:.2}"
     );
     // The legacy path allocates per message and per layer; make sure
     // the measurement itself is alive before comparing.
@@ -184,5 +202,13 @@ fn steady_state_reduce_allocates_90_percent_less() {
         per_op_new <= per_op_old * 0.10,
         "steady-state pooled reduce must allocate >=90% less: \
          old {per_op_old:.1} allocs/op vs new {per_op_new:.1}"
+    );
+    // Telemetry is pure atomics on preallocated shards: enabling full
+    // counters and per-op timing may not reintroduce steady-state heap
+    // traffic to the hot path.
+    assert!(
+        per_op_tel <= 0.4,
+        "telemetry-enabled steady state must stay allocation-free: \
+         {per_op_tel:.2} allocs/op"
     );
 }

@@ -3,7 +3,7 @@
 //! configuration state must satisfy its internal geometry on arbitrary
 //! workloads.
 
-use kylix::codec::{decode_keys, decode_values, Decoder};
+use kylix::codec::{decode_keys, decode_values, put_keys, put_values, seal, Decoder};
 use kylix::{Kylix, NetworkPlan};
 use kylix_net::{Comm, LocalCluster};
 use kylix_sparse::{Key, Xoshiro256};
@@ -51,6 +51,78 @@ proptest! {
         let byte = byte_sel.index(enc.len());
         enc[byte] ^= 1 << bit;
         prop_assert!(decode_keys(&enc).is_err());
+    }
+
+    /// Multi-section (combined) frames: any truncation destroys the
+    /// trailing seal and fails before a single section is parsed.
+    #[test]
+    fn combined_truncations_error(
+        nk in 0usize..12,
+        nv in 0usize..12,
+        cut_sel in any::<prop::sample::Index>(),
+    ) {
+        let keys: Vec<Key> = (0..nk as u64).map(Key::new).collect();
+        let vals: Vec<f64> = (0..nv).map(|i| i as f64 * 0.5).collect();
+        let mut buf = Vec::new();
+        put_keys(&mut buf, &keys);
+        put_values(&mut buf, &vals);
+        put_keys(&mut buf, &keys);
+        let enc = seal(buf);
+        let cut = cut_sel.index(enc.len()); // strictly shorter prefix
+        prop_assert!(Decoder::new(&enc[..cut]).is_err());
+    }
+
+    /// Multi-section frames: a single flipped bit anywhere — headers,
+    /// either section, the seal itself — is caught at verification.
+    #[test]
+    fn combined_bit_flips_never_decode(
+        nk in 1usize..8,
+        nv in 1usize..8,
+        byte_sel in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let keys: Vec<Key> = (0..nk as u64).map(Key::new).collect();
+        let vals: Vec<f64> = (0..nv).map(|i| i as f64 + 0.25).collect();
+        let mut buf = Vec::new();
+        put_keys(&mut buf, &keys);
+        put_values(&mut buf, &vals);
+        let mut enc = seal(buf).to_vec();
+        let byte = byte_sel.index(enc.len());
+        enc[byte] ^= 1 << bit;
+        prop_assert!(Decoder::new(&enc).is_err());
+    }
+
+    /// Garbage bodies wearing a VALID seal: the multi-section decode
+    /// chain must return errors (or benign successes), never panic or
+    /// read past the body.
+    #[test]
+    fn sealed_garbage_sections_error_cleanly(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let sealed = seal(bytes);
+        let mut dec = Decoder::new(&sealed).expect("a fresh seal always verifies");
+        let _ = dec.keys();
+        let _ = dec.values::<f64>();
+        let _ = dec.keys();
+        let _ = dec.finished();
+    }
+
+    /// Regression, generalised: `Decoder::count` bounds a section by
+    /// the bytes *remaining*, not the whole body. A later section
+    /// claiming more elements than what follows it — but fewer than the
+    /// full body length, which the old whole-body bound accepted — must
+    /// be rejected at the count for every section shape.
+    #[test]
+    fn later_section_counts_bounded_by_remaining(nk in 0usize..8, extra in 0usize..8) {
+        let keys: Vec<Key> = (0..nk as u64).map(Key::new).collect();
+        let mut buf = Vec::new();
+        put_keys(&mut buf, &keys);
+        // claim > `extra` bytes remaining, yet ≤ total body length.
+        let claim = (extra + 1 + 4 * nk) as u64;
+        buf.extend_from_slice(&claim.to_le_bytes());
+        buf.extend_from_slice(&vec![0u8; extra]);
+        let sealed = seal(buf);
+        let mut dec = Decoder::new(&sealed).unwrap();
+        prop_assert!(dec.keys().is_ok());
+        prop_assert!(dec.values::<u64>().is_err(), "oversized later section must fail");
     }
 }
 

@@ -9,6 +9,7 @@
 
 use crate::fault::{ChaosComm, FaultPlan};
 use crate::thread_comm::ThreadComm;
+use kylix_telemetry::Telemetry;
 use std::thread;
 
 /// Entry points for running closures as an in-process cluster.
@@ -36,6 +37,25 @@ impl LocalCluster {
         })
     }
 
+    /// [`LocalCluster::run`] with a telemetry instance attached: each
+    /// rank's endpoint records sends, deliveries, and stash parks into
+    /// `tel.rank(r)` (wall-clock flavour — pair with
+    /// `Telemetry::new(m, Clock::Wall)`).
+    pub fn run_with_telemetry<R, F>(m: usize, tel: &Telemetry, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(ThreadComm) -> R + Sync,
+    {
+        let comms = ThreadComm::make_cluster_with_telemetry(m, tel);
+        thread::scope(|s| {
+            let handles: Vec<_> = comms.into_iter().map(|comm| s.spawn(|| f(comm))).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("node thread panicked"))
+                .collect()
+        })
+    }
+
     /// Run every rank behind a [`ChaosComm`] applying `plan` — lossy
     /// links, duplicates, corruption, delays, and mid-run crashes, all
     /// deterministic in the plan's seed. Unlike
@@ -49,6 +69,33 @@ impl LocalCluster {
         F: Fn(ChaosComm<ThreadComm>) -> R + Sync,
     {
         let comms = ThreadComm::make_cluster(m);
+        thread::scope(|s| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|comm| s.spawn(|| f(ChaosComm::new(comm, plan.clone()))))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("node thread panicked"))
+                .collect()
+        })
+    }
+
+    /// [`LocalCluster::run_with_faults`] with telemetry attached: the
+    /// underlying endpoints count real wire traffic (post-fault), and
+    /// the chaos/reliable wrappers stacked above record their own
+    /// counters into the same per-rank shards.
+    pub fn run_with_faults_telemetry<R, F>(
+        m: usize,
+        plan: &FaultPlan,
+        tel: &Telemetry,
+        f: F,
+    ) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(ChaosComm<ThreadComm>) -> R + Sync,
+    {
+        let comms = ThreadComm::make_cluster_with_telemetry(m, tel);
         thread::scope(|s| {
             let handles: Vec<_> = comms
                 .into_iter()

@@ -18,6 +18,7 @@
 
 use crate::tag::Tag;
 use bytes::Bytes;
+use kylix_telemetry::{Counter, RankTelemetry, SELF_PHASE};
 use std::time::Duration;
 
 /// Errors a receive can surface.
@@ -162,9 +163,27 @@ pub trait Comm: Send {
     fn charge_compute(&mut self, _seconds: f64) {}
 
     /// Bytes-per-element-independent hook: report how many application
-    /// payload bytes a protocol message carries, for traffic accounting.
-    /// Default is a no-op; the simulator records per-layer volumes.
-    fn note_traffic(&mut self, _layer: u16, _bytes: usize) {}
+    /// payload bytes a protocol message carries that never touch the
+    /// wire (a rank's own part of a scatter), for traffic accounting.
+    ///
+    /// The default implementation files the traffic under the
+    /// [`SELF_PHASE`] pseudo-phase of this endpoint's telemetry shard
+    /// (if any), so whole-layer volume reports are exact on every
+    /// substrate.
+    fn note_traffic(&mut self, layer: u16, bytes: usize) {
+        if let Some(tel) = self.telemetry() {
+            tel.add(SELF_PHASE, layer, Counter::BytesSent, bytes as u64);
+            tel.add(SELF_PHASE, layer, Counter::MsgsSent, 1);
+        }
+    }
+
+    /// This endpoint's telemetry shard, if counters were attached when
+    /// the cluster was built. Wrappers must delegate so instrumentation
+    /// added at any layer (reliability, chaos, replication) lands in
+    /// the same per-rank shard. Default: no telemetry.
+    fn telemetry(&self) -> Option<&RankTelemetry> {
+        None
+    }
 }
 
 /// One incoming message, unfiltered: source, tag, payload.
@@ -290,6 +309,10 @@ impl<C: Comm> Comm for PatienceComm<C> {
 
     fn note_traffic(&mut self, layer: u16, bytes: usize) {
         self.inner.note_traffic(layer, bytes);
+    }
+
+    fn telemetry(&self) -> Option<&RankTelemetry> {
+        self.inner.telemetry()
     }
 }
 

@@ -17,6 +17,7 @@
 use crate::comm::{Comm, CommError, RawComm, RawMessage};
 use crate::tag::Tag;
 use bytes::Bytes;
+use kylix_telemetry::{Counter, RankTelemetry};
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -358,6 +359,15 @@ impl<C: Comm> ChaosComm<C> {
         self.dark
     }
 
+    /// Mirror one injected fault into the substrate's telemetry shard
+    /// (if any), keyed by the protocol tag it struck.
+    #[inline]
+    fn tel_bump(&self, tag: Tag, kind: Counter) {
+        if let Some(t) = self.inner.as_ref().and_then(|c| c.telemetry()) {
+            t.add(tag.phase(), tag.layer(), kind, 1);
+        }
+    }
+
     /// Release held-back messages captured before operation `before`.
     fn release_holdback(&mut self, before: u64) {
         if self.holdback.is_empty() || self.dark || self.inner.is_none() {
@@ -408,11 +418,13 @@ impl<C: Comm> Comm for ChaosComm<C> {
 
         if self.plan.strikes(lf.drop_p, SALT_DROP, src, to, k) {
             self.stats.dropped += 1;
+            self.tel_bump(tag, Counter::FaultsDropped);
         } else {
             let payload = if !payload.is_empty()
                 && self.plan.strikes(lf.corrupt_p, SALT_CORRUPT, src, to, k)
             {
                 self.stats.corrupted += 1;
+                self.tel_bump(tag, Counter::FaultsCorrupted);
                 let mut buf = payload.to_vec();
                 let pos = self.plan.corrupt_pos(src, to, k, buf.len());
                 buf[pos] ^= 0x55;
@@ -422,6 +434,7 @@ impl<C: Comm> Comm for ChaosComm<C> {
             };
             if self.plan.strikes(lf.delay_p, SALT_DELAY, src, to, k) {
                 self.stats.delayed += 1;
+                self.tel_bump(tag, Counter::FaultsDelayed);
                 self.holdback.push(Held {
                     op: self.ops,
                     to,
@@ -431,6 +444,7 @@ impl<C: Comm> Comm for ChaosComm<C> {
             } else {
                 if self.plan.strikes(lf.dup_p, SALT_DUP, src, to, k) {
                     self.stats.duplicated += 1;
+                    self.tel_bump(tag, Counter::FaultsDuplicated);
                     self.inner_mut().send(to, tag, payload.clone());
                 }
                 self.inner_mut().send(to, tag, payload);
@@ -491,6 +505,10 @@ impl<C: Comm> Comm for ChaosComm<C> {
 
     fn note_traffic(&mut self, layer: u16, bytes: usize) {
         self.inner_mut().note_traffic(layer, bytes);
+    }
+
+    fn telemetry(&self) -> Option<&RankTelemetry> {
+        self.inner.as_ref().and_then(|c| c.telemetry())
     }
 }
 

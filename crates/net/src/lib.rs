@@ -52,3 +52,8 @@ pub use fault::{checksum, ChaosComm, Crash, FaultPlan, FaultStats, LinkFaults};
 pub use reliable::{ReliableComm, ReliableStats, RetryConfig};
 pub use tag::{Phase, Tag};
 pub use thread_comm::ThreadComm;
+
+/// Re-export of the cross-substrate telemetry facility, so protocol
+/// crates written against [`Comm`] can name counter kinds and build
+/// [`telemetry::Telemetry`] instances without a separate dependency.
+pub use kylix_telemetry as telemetry;

@@ -31,6 +31,7 @@ use crate::comm::{Comm, CommError, RawComm, RawMessage};
 use crate::fault::checksum;
 use crate::tag::Tag;
 use bytes::Bytes;
+use kylix_telemetry::{Counter, RankTelemetry};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::time::{Duration, Instant};
 
@@ -198,8 +199,18 @@ impl<C: RawComm> ReliableComm<C> {
         Some((kind, seq, buf.slice(HEADER_LEN..body_len)))
     }
 
+    /// Mirror one reliability event into the substrate's telemetry
+    /// shard (if any), keyed by the protocol tag it concerns.
+    #[inline]
+    fn tel_bump(&self, tag: Tag, kind: Counter) {
+        if let Some(t) = self.inner.telemetry() {
+            t.add(tag.phase(), tag.layer(), kind, 1);
+        }
+    }
+
     fn send_ack(&mut self, to: usize, tag: Tag, seq: u32) {
         let frame = Self::frame(KIND_ACK, seq, &[]);
+        self.tel_bump(tag, Counter::AcksSent);
         self.inner.send(to, tag, frame);
         self.stats.acks_sent += 1;
     }
@@ -221,6 +232,7 @@ impl<C: RawComm> ReliableComm<C> {
     /// a valid frame (progress happened).
     fn handle_frame(&mut self, msg: RawMessage) -> bool {
         let Some((kind, seq, payload)) = Self::open_frame(&msg.payload) else {
+            self.tel_bump(msg.tag, Counter::CorruptRejects);
             self.stats.corrupt_dropped += 1;
             return false;
         };
@@ -240,6 +252,7 @@ impl<C: RawComm> ReliableComm<C> {
                 self.send_ack(msg.src, msg.tag, seq);
                 let stream = self.streams.entry((msg.src, msg.tag)).or_default();
                 if seq < stream.expected || stream.parked.contains_key(&seq) {
+                    self.tel_bump(msg.tag, Counter::DupesDropped);
                     self.stats.duplicates_dropped += 1;
                 } else {
                     stream.parked.insert(seq, payload);
@@ -277,8 +290,10 @@ impl<C: RawComm> ReliableComm<C> {
             if p.due <= now {
                 if p.attempts >= self.cfg.max_attempts {
                     // Peer presumed dead; stop burning the link.
+                    let tag = p.tag;
                     self.stats.gave_up += 1;
                     self.unacked.remove(i);
+                    self.tel_bump(tag, Counter::GaveUp);
                     continue;
                 }
                 p.attempts += 1;
@@ -295,6 +310,7 @@ impl<C: RawComm> ReliableComm<C> {
             i += 1;
         }
         for (to, tag, frame) in retransmit {
+            self.tel_bump(tag, Counter::Retransmits);
             self.inner.send(to, tag, frame);
         }
         // Sleep no longer than the earliest retransmission deadline.
@@ -438,6 +454,10 @@ impl<C: RawComm> Comm for ReliableComm<C> {
 
     fn note_traffic(&mut self, layer: u16, bytes: usize) {
         self.inner.note_traffic(layer, bytes);
+    }
+
+    fn telemetry(&self) -> Option<&RankTelemetry> {
+        self.inner.telemetry()
     }
 }
 

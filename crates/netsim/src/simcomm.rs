@@ -48,12 +48,13 @@
 //! every *live* replica's copy is in.
 
 use crate::nic::NicModel;
-use crate::stats::{TrafficReport, TrafficStats};
+use crate::stats::TrafficReport;
 use crate::trace::{Trace, TraceEvent};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use kylix_net::{Comm, CommError, FaultPlan, RawComm, RawMessage, Tag};
 use kylix_sparse::hash::mix_many;
+use kylix_telemetry::{Clock, Counter, RankTelemetry, Telemetry};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -83,7 +84,9 @@ pub struct SimComm {
     senders: Arc<Vec<Sender<SimEnvelope>>>,
     rx: Receiver<SimEnvelope>,
     alive: Arc<Vec<AtomicBool>>,
-    stats: Arc<TrafficStats>,
+    /// This rank's telemetry shard (always present: the cluster owns a
+    /// virtual-clock `Telemetry`, and `traffic()` is a view over it).
+    shard: Arc<RankTelemetry>,
     trace: Option<Arc<Trace>>,
     stash: HashMap<(usize, Tag), VecDeque<(f64, Bytes)>>,
     /// Discards registered before the matching message arrived.
@@ -166,6 +169,15 @@ impl SimComm {
         if q.is_empty() {
             self.stash.remove(&(from, tag));
         }
+        if let Some((_, p)) = &item {
+            // Every delivery funnels through here (the simulator has no
+            // direct-delivery path), so this is the one receive-side
+            // accounting point.
+            self.shard
+                .add(tag.phase(), tag.layer(), Counter::BytesRecv, p.len() as u64);
+            self.shard
+                .add(tag.phase(), tag.layer(), Counter::MsgsRecv, 1);
+        }
         item
     }
 
@@ -173,8 +185,23 @@ impl SimComm {
     /// dropped, or it joins the stash.
     fn accept(&mut self, env: SimEnvelope) {
         if self.consume_pending_discard(env.src, env.tag) {
+            // Consumed on the caller's behalf: counts as a delivery.
+            self.shard.add(
+                env.tag.phase(),
+                env.tag.layer(),
+                Counter::BytesRecv,
+                env.payload.len() as u64,
+            );
+            self.shard
+                .add(env.tag.phase(), env.tag.layer(), Counter::MsgsRecv, 1);
             return;
         }
+        // Note: unlike `ThreadComm` (which counts only out-of-order
+        // arrivals), every simulator arrival parks here — the stash is
+        // its sole arrival queue — so cross-substrate comparisons should
+        // stick to the send-side counters.
+        self.shard
+            .add(env.tag.phase(), env.tag.layer(), Counter::StashParks, 1);
         self.stash
             .entry((env.src, env.tag))
             .or_default()
@@ -260,7 +287,16 @@ impl Comm for SimComm {
         if self.crashed() {
             return;
         }
-        self.stats.record(tag.layer(), payload.len());
+        // Counted before the receiver-liveness check, like the thread
+        // substrate: traffic is charged when the sender commits it.
+        self.shard.add(
+            tag.phase(),
+            tag.layer(),
+            Counter::BytesSent,
+            payload.len() as u64,
+        );
+        self.shard
+            .add(tag.phase(), tag.layer(), Counter::MsgsSent, 1);
         let start = self.t_local.max(self.nic_free);
         let xfer = self.nic.xfer_time(payload.len()) * self.slowdown;
         self.nic_free = start + xfer;
@@ -419,8 +455,11 @@ impl Comm for SimComm {
         self.t_local += seconds * self.slowdown;
     }
 
-    fn note_traffic(&mut self, layer: u16, bytes: usize) {
-        self.stats.record(layer, bytes);
+    // `note_traffic` uses the trait default, which files self-addressed
+    // traffic under the telemetry pseudo-phase of this shard.
+
+    fn telemetry(&self) -> Option<&RankTelemetry> {
+        Some(&self.shard)
     }
 }
 
@@ -469,7 +508,7 @@ pub struct SimCluster {
     seed: u64,
     dead: Vec<usize>,
     crashes: Vec<(usize, f64)>,
-    stats: Arc<TrafficStats>,
+    telemetry: Arc<Telemetry>,
     trace: Option<Arc<Trace>>,
     slowdowns: Vec<(usize, f64)>,
 }
@@ -484,7 +523,7 @@ impl SimCluster {
             seed: 0,
             dead: Vec::new(),
             crashes: Vec::new(),
-            stats: TrafficStats::new_shared(),
+            telemetry: Telemetry::new(m, Clock::Virtual),
             trace: None,
             slowdowns: Vec::new(),
         }
@@ -549,14 +588,21 @@ impl SimCluster {
         self
     }
 
-    /// Shared traffic statistics (readable after `run`).
+    /// Shared traffic statistics (readable after `run`): the per-layer
+    /// distillation of [`SimCluster::telemetry`].
     pub fn traffic(&self) -> TrafficReport {
-        self.stats.report()
+        TrafficReport::from_telemetry(&self.telemetry.report())
     }
 
     /// Reset traffic counters (between phases of an experiment).
     pub fn reset_traffic(&self) {
-        self.stats.reset();
+        self.telemetry.reset();
+    }
+
+    /// The cluster's telemetry instance (virtual-clock flavour): full
+    /// per-rank, per-phase counters behind [`SimCluster::traffic`].
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// Run `f` on every live rank concurrently. Dead ranks yield `None`.
@@ -589,7 +635,7 @@ impl SimCluster {
                 senders: Arc::clone(&senders),
                 rx,
                 alive: Arc::clone(&alive),
-                stats: Arc::clone(&self.stats),
+                shard: Arc::clone(self.telemetry.rank(rank)),
                 trace: self.trace.clone(),
                 stash: HashMap::new(),
                 pending_discards: HashMap::new(),

@@ -5,8 +5,15 @@
 //! over all nodes. Protocol code reports its traffic through
 //! `Comm::note_traffic(layer, bytes)`; the simulator additionally
 //! records every message it carries, keyed by the tag's layer field.
+//!
+//! Since the cross-substrate telemetry facility landed, this module is
+//! a thin per-layer view over `kylix_telemetry`: [`TrafficStats`] is
+//! backed by one lock-free telemetry shard (the historical
+//! `Mutex<BTreeMap>` is gone), and a [`TrafficReport`] can equally be
+//! distilled from a full cluster [`TelemetryReport`] — which is exactly
+//! what `SimCluster::traffic()` does.
 
-use parking_lot::Mutex;
+use kylix_telemetry::{Counter, RankTelemetry, TelemetryReport, MAX_LAYERS, SELF_PHASE};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -20,9 +27,25 @@ pub struct LayerTraffic {
 }
 
 /// Cluster-wide traffic statistics, shared between all node endpoints.
-#[derive(Debug, Default)]
+///
+/// Recording is a pair of atomic adds on a preallocated telemetry
+/// shard — safe and allocation-free from any thread.
 pub struct TrafficStats {
-    layers: Mutex<BTreeMap<u16, LayerTraffic>>,
+    shard: RankTelemetry,
+}
+
+impl Default for TrafficStats {
+    fn default() -> Self {
+        TrafficStats {
+            shard: RankTelemetry::new_detached(),
+        }
+    }
+}
+
+impl std::fmt::Debug for TrafficStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrafficStats").finish_non_exhaustive()
+    }
 }
 
 impl TrafficStats {
@@ -33,22 +56,29 @@ impl TrafficStats {
 
     /// Record one message of `bytes` on `layer`.
     pub fn record(&self, layer: u16, bytes: usize) {
-        let mut g = self.layers.lock();
-        let e = g.entry(layer).or_default();
-        e.bytes += bytes as u64;
-        e.messages += 1;
+        self.shard
+            .add(SELF_PHASE, layer, Counter::BytesSent, bytes as u64);
+        self.shard.add(SELF_PHASE, layer, Counter::MsgsSent, 1);
     }
 
     /// Snapshot the counters.
     pub fn report(&self) -> TrafficReport {
-        TrafficReport {
-            layers: self.layers.lock().clone(),
+        let mut layers = BTreeMap::new();
+        for l in 0..MAX_LAYERS as u16 {
+            let t = LayerTraffic {
+                bytes: self.shard.on_layer(l, Counter::BytesSent),
+                messages: self.shard.on_layer(l, Counter::MsgsSent),
+            };
+            if t != LayerTraffic::default() {
+                layers.insert(l, t);
+            }
         }
+        TrafficReport { layers }
     }
 
     /// Reset all counters (between experiment phases).
     pub fn reset(&self) {
-        self.layers.lock().clear();
+        self.shard.reset();
     }
 }
 
@@ -60,6 +90,24 @@ pub struct TrafficReport {
 }
 
 impl TrafficReport {
+    /// Distil a per-layer traffic view from a full telemetry snapshot:
+    /// sent bytes/messages summed over every rank and phase of each
+    /// layer (self-addressed traffic under the pseudo-phase included,
+    /// matching what `note_traffic` historically recorded here).
+    pub fn from_telemetry(rep: &TelemetryReport) -> Self {
+        let mut layers = BTreeMap::new();
+        for l in rep.layers() {
+            let t = LayerTraffic {
+                bytes: rep.on_layer(l, Counter::BytesSent),
+                messages: rep.on_layer(l, Counter::MsgsSent),
+            };
+            if t != LayerTraffic::default() {
+                layers.insert(l, t);
+            }
+        }
+        TrafficReport { layers }
+    }
+
     /// Bytes recorded on one layer.
     pub fn bytes_on(&self, layer: u16) -> u64 {
         self.layers.get(&layer).map_or(0, |l| l.bytes)
@@ -129,5 +177,24 @@ mod tests {
         let r = TrafficStats::new_shared().report();
         assert_eq!(r.bytes_on(9), 0);
         assert_eq!(r.messages_on(9), 0);
+    }
+
+    #[test]
+    fn from_telemetry_matches_direct_recording() {
+        use kylix_telemetry::{Clock, Telemetry};
+        // The same traffic recorded per-rank through telemetry and
+        // globally through TrafficStats must produce identical reports.
+        let tel = Telemetry::new(2, Clock::Virtual);
+        let direct = TrafficStats::new_shared();
+        for (rank, layer, bytes) in [(0usize, 1u16, 100usize), (1, 1, 50), (1, 2, 7)] {
+            tel.rank(rank)
+                .add(1, layer, Counter::BytesSent, bytes as u64);
+            tel.rank(rank).add(1, layer, Counter::MsgsSent, 1);
+            direct.record(layer, bytes);
+        }
+        assert_eq!(
+            TrafficReport::from_telemetry(&tel.report()),
+            direct.report()
+        );
     }
 }

@@ -1,0 +1,114 @@
+//! Property tests for the telemetry conservation laws.
+//!
+//! The deterministic ledger checks live in `telemetry_conservation.rs`;
+//! here the same invariants are hammered across random seeds, random
+//! workload shapes, and random fault rates:
+//!
+//! * fault-free collectives conserve messages and bytes per
+//!   `(phase, layer)` on any topology and workload;
+//! * the wire identity `sent == logical − drops + duplicates` holds for
+//!   *any* drop/duplicate rates, including zero, while delivery stays
+//!   complete and in order.
+
+use bytes::Bytes;
+use kylix::{Kylix, NetworkPlan};
+use kylix_net::telemetry::{Clock, Counter, Telemetry, SELF_PHASE};
+use kylix_net::{Comm, FaultPlan, LinkFaults, LocalCluster, Phase, ReliableComm, Tag};
+use kylix_powerlaw::{DensityModel, PartitionGenerator};
+use kylix_sparse::SumReducer;
+use proptest::prelude::*;
+
+/// Topologies the conservation property samples over (kept small so a
+/// case stays cheap; the heterogeneous one exercises unequal degrees).
+const TOPOLOGIES: &[&[usize]] = &[&[2, 2], &[4, 2], &[2, 2, 2]];
+
+fn workload(m: usize, seed: u64) -> Vec<Vec<u64>> {
+    let model = DensityModel::new(2048, 1.1);
+    let gen = PartitionGenerator::with_density(model, 0.3, seed);
+    (0..m).map(|i| gen.indices(i)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Σ sent == Σ received per `(phase, layer)` after any fault-free
+    /// collective, on any sampled topology.
+    #[test]
+    fn fault_free_conservation(topo_sel in 0usize..TOPOLOGIES.len(), seed in 0u64..1000) {
+        let plan = NetworkPlan::new(TOPOLOGIES[topo_sel]);
+        let m = plan.size();
+        let idx = workload(m, seed);
+        let tel = Telemetry::new(m, Clock::Wall);
+        LocalCluster::run_with_telemetry(m, &tel, |mut comm| {
+            let me = comm.rank();
+            let kylix = Kylix::new(plan.clone());
+            let mut state = kylix.configure(&mut comm, &idx[me], &idx[me], 0).unwrap();
+            let vals = vec![1.0f64; idx[me].len()];
+            state.reduce(&mut comm, &vals, SumReducer).unwrap();
+        });
+        let rep = tel.report();
+        for phase in 0..SELF_PHASE {
+            for layer in rep.layers() {
+                prop_assert_eq!(
+                    rep.on(phase, layer, Counter::MsgsSent),
+                    rep.on(phase, layer, Counter::MsgsRecv),
+                    "phase {} layer {}", phase, layer
+                );
+                prop_assert_eq!(
+                    rep.on(phase, layer, Counter::BytesSent),
+                    rep.on(phase, layer, Counter::BytesRecv),
+                    "phase {} layer {}", phase, layer
+                );
+            }
+        }
+        prop_assert!(rep.total(Counter::MsgsSent) > 0);
+    }
+
+    /// The wire identity holds for arbitrary drop/duplicate rates on
+    /// the data link, and the stream still arrives complete and in
+    /// order.
+    #[test]
+    fn lossy_wire_identity(
+        seed in 0u64..1000,
+        drop_p in 0.0f64..0.3,
+        dup_p in 0.0f64..0.3,
+    ) {
+        const STREAM_LEN: u64 = 30;
+        let tag = Tag::new(Phase::App, 0, 1);
+        let faults = FaultPlan::new(seed).link(0, 1, LinkFaults {
+            drop_p,
+            dup_p,
+            ..LinkFaults::none()
+        });
+        let tel = Telemetry::new(2, Clock::Wall);
+        let received = LocalCluster::run_with_faults_telemetry(2, &faults, &tel, |chaos| {
+            let mut comm = ReliableComm::new(chaos);
+            let me = comm.rank();
+            let mut got = Vec::new();
+            if me == 0 {
+                for i in 0..STREAM_LEN {
+                    comm.send(1, tag, Bytes::from(i.to_le_bytes().to_vec()));
+                }
+            } else {
+                for _ in 0..STREAM_LEN {
+                    let payload = comm.recv(0, tag).expect("reliable delivery");
+                    got.push(u64::from_le_bytes(payload[..8].try_into().unwrap()));
+                }
+            }
+            comm.flush().expect("drain");
+            got
+        });
+        prop_assert_eq!(&received[1], &(0..STREAM_LEN).collect::<Vec<u64>>());
+
+        let rep = tel.report();
+        let logical = STREAM_LEN
+            + rep.total(Counter::Retransmits)
+            + rep.total(Counter::AcksSent);
+        prop_assert_eq!(
+            rep.total(Counter::MsgsSent),
+            logical - rep.total(Counter::FaultsDropped) + rep.total(Counter::FaultsDuplicated)
+        );
+        prop_assert!(rep.total(Counter::MsgsRecv) <= rep.total(Counter::MsgsSent));
+        prop_assert_eq!(rep.total(Counter::GaveUp), 0);
+    }
+}
