@@ -1,18 +1,23 @@
 //! Regenerate every table and figure of the Kylix paper's evaluation.
 //!
 //! ```text
-//! figures [fig2|fig4|fig5|fig6|fig7|table1|fig8|fig9|faults|straggler|all] \
-//!     [--scale N] [--seed N] [--quick] [--json PATH] [--telemetry PATH]
+//! figures [fig2|fig4|fig5|fig6|fig7|table1|fig8|fig9|faults|straggler|substrates|all] \
+//!     [--scale N] [--seed N] [--quick] [--json PATH] [--telemetry PATH] \
+//!     [--substrate thread|tcp|sim]…
 //! ```
 //!
 //! Each experiment prints an aligned text table; `--json` additionally
 //! dumps machine-readable rows (used to refresh EXPERIMENTS.md).
 //! `--telemetry` dumps the raw per-rank telemetry export behind the
 //! Fig. 5 volumes (the CI build artifact). `--quick` trims the fault
-//! and straggler sweeps to their CI-smoke subsets.
+//! and straggler sweeps to their CI-smoke subsets. `--substrate`
+//! (repeatable) restricts the `substrates` cross-check to the named
+//! execution substrates; default is all three.
 
+use kylix_bench::substrate::Substrate;
 use kylix_bench::{
-    ablation, fault_sweep, fig2, fig4, fig5, fig6, fig7, fig8, fig9, print_table, straggler, table1,
+    ablation, fault_sweep, fig2, fig4, fig5, fig6, fig7, fig8, fig9, print_table, straggler,
+    substrate, table1,
 };
 use std::collections::BTreeMap;
 
@@ -24,6 +29,7 @@ struct Args {
     quick: bool,
     json: Option<String>,
     telemetry: Option<String>,
+    substrates: Vec<Substrate>,
 }
 
 fn parse_args() -> Args {
@@ -33,6 +39,7 @@ fn parse_args() -> Args {
     let mut quick = false;
     let mut json = None;
     let mut telemetry = None;
+    let mut substrates = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -41,10 +48,17 @@ fn parse_args() -> Args {
             "--quick" => quick = true,
             "--json" => json = Some(it.next().expect("--json PATH")),
             "--telemetry" => telemetry = Some(it.next().expect("--telemetry PATH")),
+            "--substrate" => substrates.push(
+                it.next()
+                    .expect("--substrate thread|tcp|sim")
+                    .parse()
+                    .expect("substrate"),
+            ),
             "-h" | "--help" => {
                 eprintln!(
-                    "usage: figures [fig2|fig4|fig5|fig6|fig7|table1|fig8|fig9|faults|straggler|all]… \
-                     [--scale N] [--seed N] [--quick] [--json PATH] [--telemetry PATH]"
+                    "usage: figures [fig2|fig4|fig5|fig6|fig7|table1|fig8|fig9|faults|straggler|substrates|all]… \
+                     [--scale N] [--seed N] [--quick] [--json PATH] [--telemetry PATH] \
+                     [--substrate thread|tcp|sim]…"
                 );
                 std::process::exit(0);
             }
@@ -64,10 +78,14 @@ fn parse_args() -> Args {
             "ablations",
             "faults",
             "straggler",
+            "substrates",
         ]
         .iter()
         .map(|s| s.to_string())
         .collect();
+    }
+    if substrates.is_empty() {
+        substrates = Substrate::ALL.to_vec();
     }
     Args {
         which,
@@ -76,6 +94,7 @@ fn parse_args() -> Args {
         quick,
         json,
         telemetry,
+        substrates,
     }
 }
 
@@ -457,6 +476,52 @@ fn main() {
                             "fixed": r.fixed,
                             "arrival": r.arrival,
                             "speedup": r.speedup,
+                        }))
+                        .collect::<Vec<_>>()),
+                );
+            }
+            "substrates" => {
+                let rows = substrate::run(args.scale, args.seed, &args.substrates);
+                print_table(
+                    "Substrate cross-check — one allreduce on each execution substrate",
+                    &[
+                        "substrate",
+                        "m",
+                        "degrees",
+                        "time s",
+                        "sent MB",
+                        "msgs",
+                        "exact",
+                    ],
+                    &rows
+                        .iter()
+                        .map(|r| {
+                            let degrees: Vec<String> =
+                                r.degrees.iter().map(|d| d.to_string()).collect();
+                            vec![
+                                r.substrate.to_string(),
+                                r.m.to_string(),
+                                degrees.join("x"),
+                                format!("{:.4}", r.seconds),
+                                mb(r.bytes_sent as f64),
+                                r.msgs_sent.to_string(),
+                                if r.exact { "yes" } else { "NO" }.to_string(),
+                            ]
+                        })
+                        .collect::<Vec<_>>(),
+                );
+                json_out.insert(
+                    "substrates".into(),
+                    serde_json::json!(rows
+                        .iter()
+                        .map(|r| serde_json::json!({
+                            "substrate": r.substrate,
+                            "m": r.m,
+                            "degrees": r.degrees,
+                            "seconds": r.seconds,
+                            "bytes_sent": r.bytes_sent,
+                            "msgs_sent": r.msgs_sent,
+                            "exact": r.exact,
                         }))
                         .collect::<Vec<_>>()),
                 );

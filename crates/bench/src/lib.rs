@@ -33,6 +33,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod scaling;
 pub mod straggler;
+pub mod substrate;
 pub mod table1;
 pub mod workload;
 

@@ -1,0 +1,205 @@
+//! Substrate cross-check: the same allreduce on every execution
+//! substrate.
+//!
+//! Not a paper figure — an engineering experiment the paper's authors
+//! ran implicitly every time they moved between their local harness and
+//! the EC2 cluster: does the collective behave identically when the
+//! transport changes? We run one calibrated workload through
+//!
+//! * the **thread** cluster (in-process channels, wall clock),
+//! * the **tcp** cluster (loopback sockets, wall clock — real kernel
+//!   buffering and framing on every message), and
+//! * the **sim** cluster (virtual-time 10 Gb/s NIC model),
+//!
+//! and report, per substrate, the wall/virtual makespan, the exact
+//! send-side traffic, and whether the reduction matched the sequential
+//! reference. Bytes and messages are routing-table facts, so they must
+//! be *identical* across substrates (the differential test suite pins
+//! this; the bench row makes it visible), while the time column shows
+//! what each substrate is for: sim predicts cluster time, thread
+//! measures protocol CPU, tcp adds the OS network stack.
+
+use crate::workload::VectorWorkload;
+use kylix::{reference_allreduce, Kylix, NetworkPlan, NodeContribution};
+use kylix_net::telemetry::{Clock, Counter, Telemetry, TelemetryReport};
+use kylix_net::{Comm, LocalCluster, TcpCluster};
+use kylix_netsim::{NicModel, SimCluster};
+use kylix_sparse::SumReducer;
+use std::str::FromStr;
+use std::time::Instant;
+
+/// One execution substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Substrate {
+    /// In-process threads over channels.
+    Thread,
+    /// Threads over loopback TCP sockets.
+    Tcp,
+    /// Virtual-time NIC-model simulator.
+    Sim,
+}
+
+impl Substrate {
+    /// All substrates, bench order.
+    pub const ALL: [Substrate; 3] = [Substrate::Thread, Substrate::Tcp, Substrate::Sim];
+
+    /// Display name (also the `--substrate` flag value).
+    pub fn name(self) -> &'static str {
+        match self {
+            Substrate::Thread => "thread",
+            Substrate::Tcp => "tcp",
+            Substrate::Sim => "sim",
+        }
+    }
+}
+
+impl FromStr for Substrate {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "thread" => Ok(Substrate::Thread),
+            "tcp" => Ok(Substrate::Tcp),
+            "sim" => Ok(Substrate::Sim),
+            other => Err(format!("unknown substrate '{other}' (thread|tcp|sim)")),
+        }
+    }
+}
+
+/// One substrate's run of the workload.
+#[derive(Debug, Clone)]
+pub struct SubstrateRow {
+    /// Substrate name.
+    pub substrate: &'static str,
+    /// Cluster size.
+    pub m: usize,
+    /// Butterfly degrees.
+    pub degrees: Vec<usize>,
+    /// Makespan: wall seconds (thread/tcp) or virtual seconds (sim).
+    pub seconds: f64,
+    /// Total payload bytes sent across all ranks (telemetry).
+    pub bytes_sent: u64,
+    /// Total messages sent across all ranks (telemetry).
+    pub msgs_sent: u64,
+    /// Every rank's reduction matched the sequential reference exactly.
+    pub exact: bool,
+}
+
+fn totals(rep: &TelemetryReport) -> (u64, u64) {
+    (rep.total(Counter::BytesSent), rep.total(Counter::MsgsSent))
+}
+
+/// Run the calibrated twitter-like workload on the selected substrates.
+pub fn run(scale: u64, seed: u64, substrates: &[Substrate]) -> Vec<SubstrateRow> {
+    let degrees = vec![4, 2];
+    let plan = NetworkPlan::new(&degrees);
+    let m = plan.size();
+    let wl = VectorWorkload::twitter_like(m, scale, seed);
+    let nodes: Vec<NodeContribution<f64>> = wl
+        .node_indices
+        .iter()
+        .map(|idx| NodeContribution {
+            in_indices: idx.clone(),
+            out_indices: idx.clone(),
+            out_values: vec![1.0; idx.len()],
+        })
+        .collect();
+    let expected = reference_allreduce(&nodes, SumReducer);
+
+    substrates
+        .iter()
+        .map(|&s| {
+            let (seconds, reduced, rep) = match s {
+                Substrate::Thread => {
+                    let tel = Telemetry::new(m, Clock::Wall);
+                    let t0 = Instant::now();
+                    let reduced = LocalCluster::run_with_telemetry(m, &tel, |mut comm| {
+                        collective(&mut comm, &plan, &nodes)
+                    });
+                    (t0.elapsed().as_secs_f64(), reduced, tel.report())
+                }
+                Substrate::Tcp => {
+                    let tel = Telemetry::new(m, Clock::Wall);
+                    let t0 = Instant::now();
+                    let reduced = TcpCluster::run_with_telemetry(m, &tel, |mut comm| {
+                        collective(&mut comm, &plan, &nodes)
+                    });
+                    (t0.elapsed().as_secs_f64(), reduced, tel.report())
+                }
+                Substrate::Sim => {
+                    let cluster = SimCluster::new(m, NicModel::ec2_10g()).seed(seed);
+                    let out = cluster.run_all(|mut comm| {
+                        let v = collective(&mut comm, &plan, &nodes);
+                        (v, comm.now())
+                    });
+                    let makespan = out.iter().map(|(_, t)| *t).fold(0.0, f64::max);
+                    let reduced = out.into_iter().map(|(v, _)| v).collect();
+                    (makespan, reduced, cluster.telemetry().report())
+                }
+            };
+            let exact = reduced.iter().zip(&expected).all(|(got, want)| got == want);
+            let (bytes_sent, msgs_sent) = totals(&rep);
+            SubstrateRow {
+                substrate: s.name(),
+                m,
+                degrees: degrees.clone(),
+                seconds,
+                bytes_sent,
+                msgs_sent,
+                exact,
+            }
+        })
+        .collect()
+}
+
+/// One rank's collective, identical on every substrate.
+fn collective<C: Comm>(
+    comm: &mut C,
+    plan: &NetworkPlan,
+    nodes: &[NodeContribution<f64>],
+) -> Vec<f64> {
+    let me = comm.rank();
+    Kylix::new(plan.clone())
+        .allreduce_combined(
+            comm,
+            &nodes[me].in_indices,
+            &nodes[me].out_indices,
+            &nodes[me].out_values,
+            SumReducer,
+            0,
+        )
+        .expect("substrate bench collective")
+        .0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_substrates_agree_on_traffic_and_results() {
+        let rows = run(200_000, 11, &Substrate::ALL);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(
+                row.exact,
+                "{}: reduction diverged from reference",
+                row.substrate
+            );
+            assert!(row.bytes_sent > 0 && row.msgs_sent > 0, "{}", row.substrate);
+        }
+        // Traffic is a routing-table fact: identical across substrates.
+        assert_eq!(rows[0].bytes_sent, rows[1].bytes_sent);
+        assert_eq!(rows[0].msgs_sent, rows[1].msgs_sent);
+        assert_eq!(rows[0].bytes_sent, rows[2].bytes_sent);
+        assert_eq!(rows[0].msgs_sent, rows[2].msgs_sent);
+    }
+
+    #[test]
+    fn substrate_flag_parses() {
+        assert_eq!("tcp".parse::<Substrate>().unwrap(), Substrate::Tcp);
+        assert_eq!("thread".parse::<Substrate>().unwrap(), Substrate::Thread);
+        assert_eq!("sim".parse::<Substrate>().unwrap(), Substrate::Sim);
+        assert!("mpi".parse::<Substrate>().is_err());
+    }
+}

@@ -13,16 +13,23 @@
 //! ([`cluster::LocalCluster`]) that runs one OS thread per node over
 //! crossbeam channels.
 //!
-//! Two implementations of [`comm::Comm`] exist in the workspace:
+//! Three implementations of [`comm::Comm`] exist in the workspace:
 //!
-//! * [`thread_comm::ThreadComm`] (here) — real concurrent execution,
-//!   wall-clock time; used for correctness tests and real benches.
+//! * [`thread_comm::ThreadComm`] (here) — real concurrent execution over
+//!   in-process channels, wall-clock time; used for correctness tests
+//!   and real benches.
+//! * [`tcp_comm::TcpComm`] (here) — real concurrent execution over
+//!   loopback TCP sockets with length-prefixed frames ([`frame`]),
+//!   exercising the OS network stack: kernel buffering, torn reads,
+//!   connection teardown.
 //! * `kylix-netsim`'s `SimComm` — the same protocol code running over a
 //!   virtual-time NIC cost model of a commodity 10 Gb/s cluster; used to
 //!   reproduce the paper's timing figures.
 //!
 //! Because every protocol in the workspace is written against the trait,
-//! the *identical* code path is exercised both ways.
+//! the *identical* code path is exercised all three ways, and the
+//! differential test suite demands identical reduction results and
+//! send-side telemetry from each substrate.
 //!
 //! ## Faults and reliability
 //!
@@ -42,15 +49,19 @@
 pub mod cluster;
 pub mod comm;
 pub mod fault;
+pub mod frame;
 pub mod reliable;
 pub mod tag;
+pub mod tcp_comm;
 pub mod thread_comm;
 
 pub use cluster::LocalCluster;
 pub use comm::{Comm, CommError, PatienceComm, RawComm, RawMessage};
 pub use fault::{checksum, ChaosComm, Crash, FaultPlan, FaultStats, LinkFaults};
+pub use frame::{encode_frame, FrameDecoder, FrameError, FRAME_HEADER, MAX_FRAME_BYTES};
 pub use reliable::{ReliableComm, ReliableStats, RetryConfig};
 pub use tag::{Phase, Tag};
+pub use tcp_comm::{TcpCluster, TcpComm};
 pub use thread_comm::ThreadComm;
 
 /// Re-export of the cross-substrate telemetry facility, so protocol

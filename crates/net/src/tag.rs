@@ -62,6 +62,13 @@ impl Tag {
     pub fn raw(&self) -> u64 {
         self.0
     }
+
+    /// Rebuild a tag from its packed value (the wire form used by the
+    /// TCP substrate's frame codec). Inverse of [`Tag::raw`].
+    #[inline]
+    pub fn from_raw(raw: u64) -> Self {
+        Tag(raw)
+    }
 }
 
 #[cfg(test)]
@@ -85,6 +92,12 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert_ne!(a, d);
+    }
+
+    #[test]
+    fn raw_round_trip() {
+        let t = Tag::new(Phase::App, 9, 77);
+        assert_eq!(Tag::from_raw(t.raw()), t);
     }
 
     #[test]

@@ -152,7 +152,9 @@ impl Counter {
 /// Which notion of time a telemetry instance records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Clock {
-    /// Wall-clock time (`LocalCluster`, real threads).
+    /// Wall-clock time — the real-execution substrates: `LocalCluster`
+    /// (threads over channels) and `TcpCluster` (threads over loopback
+    /// sockets).
     Wall,
     /// Virtual time (`SimCluster`'s deterministic cost model).
     Virtual,

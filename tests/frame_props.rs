@@ -1,0 +1,138 @@
+//! Property tests for the TCP wire-frame codec.
+//!
+//! TCP is a byte stream: the kernel may hand the reader any torn,
+//! partial, or concatenated view of what was written. Whatever the
+//! tearing, the decoder must reproduce exactly the frames that were
+//! encoded — same tags, same payloads, same order — and a declared
+//! length beyond the cap must be rejected *before* any allocation, no
+//! matter where in the stream it appears.
+
+use kylix_net::{encode_frame, FrameDecoder, Phase, Tag, FRAME_HEADER, MAX_FRAME_BYTES};
+use proptest::prelude::*;
+
+const PHASES: [Phase; 6] = [
+    Phase::Config,
+    Phase::ReduceDown,
+    Phase::ReduceUp,
+    Phase::Combined,
+    Phase::App,
+    Phase::Control,
+];
+
+fn arb_tag() -> impl Strategy<Value = Tag> {
+    (0usize..PHASES.len(), any::<u16>(), any::<u32>())
+        .prop_map(|(p, layer, seq)| Tag::new(PHASES[p], layer, seq))
+}
+
+fn arb_message() -> impl Strategy<Value = (Tag, Vec<u8>)> {
+    (arb_tag(), prop::collection::vec(any::<u8>(), 0..2048))
+}
+
+/// Feed `wire` to a decoder in chunks cycling through `chunk_sizes`;
+/// return every decoded frame.
+fn decode_in_chunks(wire: &[u8], chunk_sizes: &[usize]) -> Vec<(Tag, Vec<u8>)> {
+    let mut dec = FrameDecoder::new();
+    let mut out = Vec::new();
+    let mut offset = 0;
+    let mut k = 0;
+    while offset < wire.len() {
+        let step = if chunk_sizes.is_empty() {
+            wire.len()
+        } else {
+            chunk_sizes[k % chunk_sizes.len()].max(1)
+        };
+        k += 1;
+        let end = (offset + step).min(wire.len());
+        dec.push(&wire[offset..end]);
+        offset = end;
+        while let Some((tag, payload)) = dec.next_frame().expect("valid wire never errors") {
+            out.push((tag, payload.to_vec()));
+        }
+    }
+    out
+}
+
+proptest! {
+    /// Round trip through arbitrary tearing: any message sequence,
+    /// concatenated on one wire and read back in arbitrary chunk
+    /// sizes, decodes to exactly the input sequence.
+    #[test]
+    fn torn_and_concatenated_reads_round_trip(
+        msgs in prop::collection::vec(arb_message(), 0..20),
+        chunk_sizes in prop::collection::vec(1usize..97, 0..16),
+    ) {
+        let mut wire = Vec::new();
+        for (tag, payload) in &msgs {
+            wire.extend_from_slice(&encode_frame(*tag, payload));
+        }
+        let got = decode_in_chunks(&wire, &chunk_sizes);
+        prop_assert_eq!(got, msgs);
+    }
+
+    /// A truncated wire — any strict prefix of a valid stream — never
+    /// errors: the decoder yields the complete frames and then waits
+    /// for more bytes.
+    #[test]
+    fn any_prefix_is_incomplete_never_an_error(
+        msgs in prop::collection::vec(arb_message(), 1..8),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut wire = Vec::new();
+        for (tag, payload) in &msgs {
+            wire.extend_from_slice(&encode_frame(*tag, payload));
+        }
+        let cut = ((wire.len() as f64) * cut_frac) as usize;
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire[..cut]);
+        let mut n = 0usize;
+        while let Some((tag, payload)) = dec.next_frame().expect("prefix must not error") {
+            prop_assert_eq!(tag, msgs[n].0);
+            prop_assert_eq!(payload.to_vec(), msgs[n].1.clone());
+            n += 1;
+        }
+        // Only whole frames came out, and the tail is retained, not
+        // silently dropped.
+        let consumed: usize = msgs[..n]
+            .iter()
+            .map(|(_, p)| FRAME_HEADER + p.len())
+            .sum();
+        prop_assert_eq!(dec.buffered(), cut - consumed);
+    }
+
+    /// Oversized declared lengths are rejected wherever they appear in
+    /// the stream — including after valid frames — and rejection comes
+    /// from the 4-byte prefix alone, before the body exists.
+    #[test]
+    fn oversized_length_rejected_mid_stream(
+        msgs in prop::collection::vec(arb_message(), 0..4),
+        excess in 1u64..u32::MAX as u64,
+    ) {
+        let declared = (MAX_FRAME_BYTES as u64 + 8 + excess).min(u32::MAX as u64) as u32;
+        let mut wire = Vec::new();
+        for (tag, payload) in &msgs {
+            wire.extend_from_slice(&encode_frame(*tag, payload));
+        }
+        wire.extend_from_slice(&declared.to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        for (tag, payload) in &msgs {
+            let (t, p) = dec
+                .next_frame()
+                .expect("valid leading frames decode")
+                .expect("complete");
+            prop_assert_eq!(t, *tag);
+            prop_assert_eq!(p.to_vec(), payload.clone());
+        }
+        prop_assert!(dec.next_frame().is_err(), "hostile prefix must error");
+    }
+
+    /// Undersized declared lengths (too small to hold the tag) are
+    /// equally fatal.
+    #[test]
+    fn undersized_length_rejected(bad_len in 0u32..8) {
+        let mut dec = FrameDecoder::new();
+        dec.push(&bad_len.to_le_bytes());
+        dec.push(&[0u8; 16]);
+        prop_assert!(dec.next_frame().is_err());
+    }
+}

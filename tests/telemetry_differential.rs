@@ -1,14 +1,18 @@
 //! Cross-substrate telemetry differential tests.
 //!
-//! The same plan and seed, run once on the virtual-time simulator and
-//! once on the real thread cluster, must produce **identical** per-rank,
-//! per-`(phase, layer)` send-side counters: bytes sent, messages sent,
-//! and the self-addressed volumes the reduce hot path records. Send
-//! counts are fixed by the routing tables, so any divergence means one
-//! substrate's accounting drifted. Timing and receive-side stash
-//! behaviour are deliberately excluded — virtual and wall clocks cannot
-//! agree, and the simulator parks every arrival while the thread
-//! substrate only parks out-of-order ones.
+//! The same plan and seed, run on the virtual-time simulator, the real
+//! thread cluster, and the loopback-TCP cluster, must produce
+//! **identical** per-rank, per-`(phase, layer)` send-side counters —
+//! bytes sent, messages sent, and the self-addressed volumes the reduce
+//! hot path records — and **bit-identical** reduction results. Send
+//! counts are fixed by the routing tables and reduction values by the
+//! deterministic arrival-order-independent reducers, so any divergence
+//! means one substrate's accounting or delivery drifted. Timing and
+//! receive-side stash behaviour are deliberately excluded — virtual and
+//! wall clocks cannot agree, and each substrate parks a different set
+//! of arrivals (the simulator parks everything, the thread and TCP
+//! clusters only out-of-order traffic, with real-socket interleaving
+//! differing from channel interleaving run to run).
 //!
 //! Three topologies, including the heterogeneous-degree butterfly
 //! `4×3×2` where every layer has a different group size.
@@ -17,7 +21,7 @@ use std::collections::BTreeMap;
 
 use kylix::{Kylix, NetworkPlan};
 use kylix_net::telemetry::{Clock, Counter, Telemetry, TelemetryReport};
-use kylix_net::{Comm, LocalCluster};
+use kylix_net::{Comm, LocalCluster, TcpCluster};
 use kylix_netsim::{NicModel, SimCluster};
 use kylix_powerlaw::{DensityModel, PartitionGenerator};
 use kylix_sparse::SumReducer;
@@ -31,6 +35,13 @@ fn workload(m: usize, n: u64, density: f64, seed: u64) -> Vec<Vec<u64>> {
 /// Send-side counters per rank: `(phase, layer)` → (bytes sent, msgs
 /// sent, self bytes, self msgs), zero rows dropped.
 type SendSide = Vec<BTreeMap<(u8, u16), (u64, u64, u64, u64)>>;
+
+/// One substrate's outcome: send-side counters plus each rank's reduced
+/// values as raw bits (exact equality, no float tolerance).
+struct Outcome {
+    send: SendSide,
+    reduced_bits: Vec<Vec<u64>>,
+}
 
 fn send_side(rep: &TelemetryReport) -> SendSide {
     rep.ranks
@@ -53,52 +64,79 @@ fn send_side(rep: &TelemetryReport) -> SendSide {
         .collect()
 }
 
-/// Configure + one reduce on every rank of both substrates; returns the
-/// two send-side counter sets.
-fn run_both(degrees: &[usize], seed: u64) -> (SendSide, SendSide) {
+fn to_bits(vals: Vec<f64>) -> Vec<u64> {
+    vals.into_iter().map(f64::to_bits).collect()
+}
+
+/// One rank's work, identical on every substrate: configure the
+/// butterfly, reduce once, return the reduced values as raw bits.
+fn rank_body<C: Comm>(comm: &mut C, plan: &NetworkPlan, idx: &[Vec<u64>]) -> Vec<u64> {
+    let me = comm.rank();
+    let kylix = Kylix::new(plan.clone());
+    let mut state = kylix.configure(comm, &idx[me], &idx[me], 0).unwrap();
+    let vals = vec![1.0f64; idx[me].len()];
+    to_bits(state.reduce(comm, &vals, SumReducer).unwrap())
+}
+
+/// Configure + one reduce on every rank of all three substrates;
+/// returns `[sim, thread, tcp]` outcomes.
+fn run_all_substrates(degrees: &[usize], seed: u64) -> [Outcome; 3] {
     let plan = NetworkPlan::new(degrees);
     let m = plan.size();
     let idx = workload(m, 4096, 0.3, seed);
 
     let sim_cluster = SimCluster::new(m, NicModel::ec2_10g()).seed(seed);
-    sim_cluster.run_all(|mut comm| {
-        let me = comm.rank();
-        let kylix = Kylix::new(plan.clone());
-        let mut state = kylix.configure(&mut comm, &idx[me], &idx[me], 0).unwrap();
-        let vals = vec![1.0f64; idx[me].len()];
-        state.reduce(&mut comm, &vals, SumReducer).unwrap();
-    });
-    let sim = send_side(&sim_cluster.telemetry().report());
+    let sim_reduced = sim_cluster.run_all(|mut comm| rank_body(&mut comm, &plan, &idx));
+    let sim = Outcome {
+        send: send_side(&sim_cluster.telemetry().report()),
+        reduced_bits: sim_reduced,
+    };
 
-    let tel = Telemetry::new(m, Clock::Wall);
-    LocalCluster::run_with_telemetry(m, &tel, |mut comm| {
-        let me = comm.rank();
-        let kylix = Kylix::new(plan.clone());
-        let mut state = kylix.configure(&mut comm, &idx[me], &idx[me], 0).unwrap();
-        let vals = vec![1.0f64; idx[me].len()];
-        state.reduce(&mut comm, &vals, SumReducer).unwrap();
+    let thread_tel = Telemetry::new(m, Clock::Wall);
+    let thread_reduced = LocalCluster::run_with_telemetry(m, &thread_tel, |mut comm| {
+        rank_body(&mut comm, &plan, &idx)
     });
-    let local = send_side(&tel.report());
+    let thread = Outcome {
+        send: send_side(&thread_tel.report()),
+        reduced_bits: thread_reduced,
+    };
 
-    (sim, local)
+    let tcp_tel = Telemetry::new(m, Clock::Wall);
+    let tcp_reduced =
+        TcpCluster::run_with_telemetry(m, &tcp_tel, |mut comm| rank_body(&mut comm, &plan, &idx));
+    let tcp = Outcome {
+        send: send_side(&tcp_tel.report()),
+        reduced_bits: tcp_reduced,
+    };
+
+    [sim, thread, tcp]
 }
 
 fn assert_identical(degrees: &[usize], seed: u64) {
-    let (sim, local) = run_both(degrees, seed);
-    assert_eq!(sim.len(), local.len());
-    for (rank, (s, l)) in sim.iter().zip(&local).enumerate() {
+    let [sim, thread, tcp] = run_all_substrates(degrees, seed);
+    for (name, other) in [("thread", &thread), ("tcp", &tcp)] {
+        assert_eq!(sim.send.len(), other.send.len());
+        for (rank, (s, o)) in sim.send.iter().zip(&other.send).enumerate() {
+            assert_eq!(
+                s, o,
+                "{degrees:?} rank {rank}: send-side counters diverged (sim vs {name})"
+            );
+        }
         assert_eq!(
-            s, l,
-            "{degrees:?} rank {rank}: send-side counters diverged between substrates"
+            sim.reduced_bits, other.reduced_bits,
+            "{degrees:?}: reduction results not bit-identical (sim vs {name})"
         );
     }
     // Sanity: the run actually sent something on every reduce layer.
     let nonzero = sim
+        .send
         .iter()
         .flat_map(|r| r.values())
         .map(|&(b, ..)| b)
         .sum::<u64>();
     assert!(nonzero > 0, "{degrees:?}: no traffic recorded");
+    let values = sim.reduced_bits.iter().map(|r| r.len()).sum::<usize>();
+    assert!(values > 0, "{degrees:?}: no reduced values produced");
 }
 
 #[test]
